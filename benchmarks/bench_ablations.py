@@ -1,0 +1,110 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not paper figures, but the questions a reviewer would ask:
+
+* Does the NoC/LLC co-design need a crossbar, or would the meshes of prior
+  GPU NoC work (paper Section 7) do?
+* How much do the reconfiguration costs (drain + flush + power-gate)
+  actually cost the adaptive LLC?
+* How sensitive is the LLC to its replacement policy?
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import AdaptiveConfig, GPUConfig
+from repro.experiments.runner import (
+    experiment_config,
+    print_rows,
+    run_benchmark,
+    scaled_adaptive_config,
+)
+from repro.gpu.system import GPUSystem
+from repro.noc import NoCPowerModel, make_topology
+from repro.noc.mesh import MeshNoC
+from repro.workloads.catalog import build
+
+SCALE = 0.5
+
+
+def test_ablation_mesh_vs_hxbar(once):
+    """A mesh is both slower (multi-hop) and bigger than the H-Xbar for
+    memory-side GPU traffic — the paper's Section 7 argument."""
+
+    def run():
+        cfg = experiment_config()
+        rows = []
+        # H-Xbar (the co-designed baseline).
+        hx = run_benchmark("RN", "shared", cfg, scale=SCALE)
+        hx_area = NoCPowerModel().area(make_topology(cfg).inventory()).total
+        rows.append({"noc": "H-Xbar", "ipc": hx.ipc, "area_mm2": hx_area})
+        # Mesh with the same endpoints.
+        mesh_cfg = cfg
+        w = build("RN", total_accesses=int(100_000 * SCALE), num_ctas=160,
+                  max_kernels=3)
+        system = GPUSystem(mesh_cfg, w, mode="shared")
+        system.topology = MeshNoC(mesh_cfg)
+        res = system.run()
+        mesh_area = NoCPowerModel().area(system.topology.inventory()).total
+        rows.append({"noc": "Mesh 8x10", "ipc": res.ipc,
+                     "area_mm2": mesh_area})
+        return rows
+
+    rows = once(run)
+    print("\nAblation — mesh vs hierarchical crossbar")
+    print_rows(rows)
+    hx, mesh = rows
+    assert hx["ipc"] > mesh["ipc"]
+
+
+def test_ablation_reconfiguration_cost(once):
+    """Zeroed vs paper-scale vs 10x reconfiguration overheads: the paper's
+    claim that transition costs are negligible must hold in our model."""
+
+    def run():
+        rows = []
+        for label, factor in [("free", 0.0), ("paper", 1.0), ("10x", 10.0)]:
+            base = scaled_adaptive_config()
+            acfg = dataclasses.replace(
+                base,
+                drain_cycles=int(base.drain_cycles * factor),
+                writeback_cycles_per_line=base.writeback_cycles_per_line * factor,
+                power_gate_cycles=int(base.power_gate_cycles * factor),
+            )
+            cfg = GPUConfig.baseline().replace(adaptive=acfg)
+            res = run_benchmark("RN", "adaptive", cfg, scale=SCALE)
+            rows.append({"reconfig_cost": label, "ipc": res.ipc,
+                         "stall_cycles": res.stall_cycles,
+                         "transitions": res.transitions})
+        return rows
+
+    rows = once(run)
+    print("\nAblation — reconfiguration overhead scaling")
+    print_rows(rows)
+    free, paper, heavy = rows
+    # Costs order monotonically, and paper-scale costs stay bounded (~10 %
+    # at our kernel lengths — 5 transitions of ~1 K cycles over a ~60 K-cycle
+    # run; the paper's 1 M-cycle epochs amortize the same cost to < 1 %).
+    assert free["ipc"] >= paper["ipc"] >= heavy["ipc"]
+    assert paper["ipc"] > 0.85 * free["ipc"]
+
+
+def test_ablation_profile_window(once):
+    """Longer profiling windows cost private-mode residency."""
+
+    def run():
+        rows = []
+        for profile in (400, 800, 3200):
+            acfg = dataclasses.replace(scaled_adaptive_config(),
+                                       profile_cycles=profile)
+            cfg = GPUConfig.baseline().replace(adaptive=acfg)
+            res = run_benchmark("AN", "adaptive", cfg, scale=SCALE)
+            rows.append({"profile_cycles": profile, "ipc": res.ipc,
+                         "time_in_private": res.time_in_private / res.cycles})
+        return rows
+
+    rows = once(run)
+    print("\nAblation — profiling window length")
+    print_rows(rows)
+    assert rows[0]["time_in_private"] >= rows[-1]["time_in_private"]

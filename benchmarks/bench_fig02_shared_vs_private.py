@@ -1,0 +1,24 @@
+"""Figure 2: private vs shared LLC performance across the three categories.
+
+Paper shape: private-friendly apps gain substantially under private caching;
+shared-friendly apps lose ~18 % on average; neutral apps stay close to 1.
+"""
+
+from repro.experiments import fig02_shared_vs_private as fig2
+from repro.experiments.runner import print_rows
+
+SCALE = 1.0
+
+
+def test_fig2_shared_vs_private(once):
+    rows = once(fig2.run, SCALE)
+    print("\nFigure 2 — normalized performance, private vs shared LLC")
+    print_rows(rows)
+    hm = {r["category"]: r["private_norm"] for r in rows
+          if r["benchmark"] == "HM"}
+    # Private-friendly apps win under private caching (paper: +28 % HM).
+    assert hm["private"] > 1.15
+    # Shared-friendly apps lose (paper: -18 % HM).
+    assert hm["shared"] < 0.9
+    # Neutral apps stay within ~15 % of the shared baseline.
+    assert 0.8 < hm["neutral"] <= 1.1

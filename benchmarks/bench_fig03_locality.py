@@ -1,0 +1,25 @@
+"""Figure 3: inter-cluster locality of the three categories.
+
+Paper shape: private-friendly apps show high inter-cluster sharing (>60 % of
+windowed lines touched by multiple clusters), shared-friendly apps moderate
+sharing, neutral apps almost none.
+"""
+
+from repro.experiments import fig03_locality as fig3
+from repro.experiments.runner import print_rows
+
+SCALE = 0.75
+
+
+def test_fig3_intercluster_locality(once):
+    rows = once(fig3.run, SCALE)
+    print("\nFigure 3 — inter-cluster locality (shared LLC)")
+    print_rows(rows)
+    avg = {r["category"]: r for r in rows if r["benchmark"] == "AVG"}
+    multi = {c: 1.0 - avg[c]["1 cluster"] for c in avg}
+    # Private-friendly: most windowed lines are shared across clusters.
+    assert multi["private"] > 0.5
+    # Neutral: essentially no inter-cluster sharing.
+    assert multi["neutral"] < 0.15
+    # Shared-friendly sits in between.
+    assert multi["neutral"] < multi["shared"] < multi["private"]

@@ -1,0 +1,33 @@
+"""Figure 7: full vs concentrated vs hierarchical crossbars at equal
+bisection bandwidth — performance, active silicon area, and power.
+
+Paper shape: H-Xbar matches full/C-Xbar performance at each bandwidth while
+cutting NoC area by 62-79 % and power by a large margin.
+"""
+
+from repro.experiments import fig07_noc_design_space as fig7
+from repro.experiments.runner import print_rows
+
+SCALE = 0.5
+
+
+def test_fig7_noc_design_space(once):
+    rows = once(fig7.run, SCALE)
+    print("\nFigure 7 — NoC design space")
+    print_rows(rows)
+    by = {(r["bandwidth"], r["design"]): r for r in rows}
+    full = by[("BW", "Full Xbar")]
+    hx = by[("BW", "H-Xbar")]
+    # (a) similar performance at the same bisection bandwidth (our model
+    # charges store-and-forward serialization per stage, so the two-stage
+    # H-Xbar sits 10-17 % under the single-stage full crossbar; the paper's
+    # wormhole overlap closes that gap — see EXPERIMENTS.md).
+    assert hx["norm_ipc"] > 0.80 * full["norm_ipc"]
+    # (b) 62-79 % area reduction vs the full crossbar
+    reduction = 1 - hx["area_mm2"] / full["area_mm2"]
+    assert 0.55 <= reduction <= 0.85
+    # (c) H-Xbar cheaper than C-Xbar at every shared-bandwidth pairing
+    for bw in ("BW/2", "BW/4"):
+        cx = next(r for r in rows if r["bandwidth"] == bw and "C-Xbar" in r["design"])
+        hxr = next(r for r in rows if r["bandwidth"] == bw and r["design"] == "H-Xbar")
+        assert hxr["area_mm2"] < cx["area_mm2"]

@@ -1,0 +1,29 @@
+"""Figure 16: sensitivity of the adaptive LLC's speedup.
+
+Paper shape: adaptive beats shared at every point; gains grow with Hynix
+(imbalanced) mapping, narrower channels, and more SMs; they shrink with a
+128 KB L1 and distributed CTA scheduling.
+"""
+
+import pytest
+
+from repro.experiments import fig16_sensitivity as fig16
+from repro.experiments.runner import print_rows
+
+SCALE = 0.6
+WORKLOADS = ["AN", "RN", "MM"]  # representative private-friendly subset
+
+GROUPS = ["address_mapping", "channel_width", "sm_count", "l1_size",
+          "cta_scheduler"]
+
+
+@pytest.mark.parametrize("group", GROUPS)
+def test_fig16_sensitivity(once, group):
+    rows = once(fig16.run, SCALE, WORKLOADS, [group])
+    print(f"\nFigure 16 — sensitivity: {group}")
+    print_rows(rows)
+    # Adaptive never loses badly to shared at any design point.
+    for r in rows:
+        assert r["adaptive_over_shared"] > 0.9
+    # At least one point in each group shows a clear adaptive win.
+    assert max(r["adaptive_over_shared"] for r in rows) > 1.02

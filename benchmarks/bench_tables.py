@@ -1,0 +1,25 @@
+"""Tables 1 and 2 regeneration."""
+
+from repro.experiments.runner import print_rows
+from repro.experiments.tables import table1_rows, table2_rows
+
+
+def test_table1_baseline_configuration(once):
+    rows = once(table1_rows)
+    print("\nTable 1 — baseline GPU architecture")
+    print_rows(rows)
+    values = {r["parameter"]: r["value"] for r in rows}
+    assert values["Streaming Multiprocessors"] == "80 SMs, 1400 MHz"
+    assert "6 MB" in values["LLC"]
+    assert "900 GB/s" in values["DRAM Bandwidth"]
+
+
+def test_table2_benchmarks(once):
+    rows = once(table2_rows)
+    print("\nTable 2 — GPU benchmarks")
+    print_rows(rows)
+    assert len(rows) == 17
+    by_abbr = {r["abbr"]: r for r in rows}
+    assert by_abbr["LUD"]["shared_mb"] == 33.4
+    assert by_abbr["3DC"]["kernels"] == 48
+    assert by_abbr["AN"]["llc_class"] == "private"

@@ -1,0 +1,22 @@
+"""Benchmark harness configuration.
+
+Every paper table/figure gets one pytest-benchmark entry that executes its
+experiment driver exactly once (``pedantic`` with a single round — these are
+minutes-long simulations, not microbenchmarks) and prints the regenerated
+rows.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return _run

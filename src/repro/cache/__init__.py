@@ -1,0 +1,22 @@
+"""Cache substrate: replacement policies, tag stores, MSHRs, L1, LLC slices,
+and the auxiliary tag directory (ATD) used by the adaptive controller."""
+
+from repro.cache.replacement import FIFOPolicy, LRUPolicy, PseudoLRUPolicy, make_policy
+from repro.cache.setassoc import AccessResult, SetAssocCache
+from repro.cache.mshr import MSHRFile
+from repro.cache.l1 import L1Cache
+from repro.cache.llc_slice import LLCSlice
+from repro.cache.atd import AuxiliaryTagDirectory
+
+__all__ = [
+    "FIFOPolicy",
+    "LRUPolicy",
+    "PseudoLRUPolicy",
+    "make_policy",
+    "AccessResult",
+    "SetAssocCache",
+    "MSHRFile",
+    "L1Cache",
+    "LLCSlice",
+    "AuxiliaryTagDirectory",
+]

@@ -1,0 +1,80 @@
+"""Miss-status holding registers with request merging.
+
+An MSHR file bounds each SM's memory-level parallelism: at most
+``num_entries`` distinct line misses may be outstanding, and secondary misses
+to an already-outstanding line merge into the existing entry instead of
+generating new downstream traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class MSHREntry:
+    """One outstanding line miss and the requests merged into it."""
+
+    __slots__ = ("key", "waiters", "issue_time")
+
+    def __init__(self, key: int, issue_time: float):
+        self.key = key
+        self.issue_time = issue_time
+        self.waiters: list[Any] = []
+
+
+class MSHRFile:
+    """Fixed-capacity table of outstanding misses keyed by line address."""
+
+    def __init__(self, num_entries: int, name: str = ""):
+        if num_entries <= 0:
+            raise ValueError("MSHR file needs at least one entry")
+        self.name = name
+        self.num_entries = num_entries
+        self._entries: dict[int, MSHREntry] = {}
+        # stats
+        self.allocations = 0
+        self.merges = 0
+        self.stalls = 0
+
+    # ------------------------------------------------------------- queries
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.num_entries
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: int) -> Optional[MSHREntry]:
+        return self._entries.get(key)
+
+    # ------------------------------------------------------------- updates
+    def allocate(self, key: int, now: float) -> Optional[MSHREntry]:
+        """Allocate an entry for a primary miss.  Returns None when full
+        (caller must stall).  Raises if the key is already outstanding —
+        use :meth:`merge` for secondary misses."""
+        if key in self._entries:
+            raise KeyError(f"line {key:#x} already has an MSHR entry")
+        if self.full:
+            self.stalls += 1
+            return None
+        entry = MSHREntry(key, now)
+        self._entries[key] = entry
+        self.allocations += 1
+        return entry
+
+    def merge(self, key: int, waiter: Any = None) -> MSHREntry:
+        """Attach a secondary miss to an existing entry."""
+        entry = self._entries[key]
+        if waiter is not None:
+            entry.waiters.append(waiter)
+        self.merges += 1
+        return entry
+
+    def release(self, key: int) -> list[Any]:
+        """Retire the entry when its fill returns; hands back merged waiters."""
+        entry = self._entries.pop(key)
+        return entry.waiters
+
+    def clear(self) -> None:
+        self._entries.clear()

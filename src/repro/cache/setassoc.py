@@ -1,0 +1,211 @@
+"""Generic set-associative tag store.
+
+Keys are *line addresses* (byte address divided by line size).  The cache
+stores the full key in each way, so any indexing function is correctness-safe;
+``index_shift`` selects which key bits form the set index so callers can skip
+bits already consumed by slice selection (otherwise a memory-side slice would
+only ever populate 1/num_slices of its sets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cache.replacement import make_policy
+
+
+@dataclass
+class AccessResult:
+    """Outcome of a cache access.
+
+    ``evicted_key``/``evicted_dirty`` describe the victim when an allocation
+    displaced a valid line (None/False otherwise).
+    """
+
+    hit: bool
+    allocated: bool = False
+    evicted_key: Optional[int] = None
+    evicted_dirty: bool = False
+
+
+class _Line:
+    __slots__ = ("key", "valid", "dirty")
+
+    def __init__(self) -> None:
+        self.key = -1
+        self.valid = False
+        self.dirty = False
+
+
+class SetAssocCache:
+    """A set-associative cache of line keys with pluggable replacement.
+
+    Parameters
+    ----------
+    num_sets, assoc:
+        Geometry; ``num_sets`` may be any positive count (the paper's 96 KB
+        16-way slices have 48 sets), indexed by modulo.
+    index_shift:
+        Key bits to skip before extracting the set index (used by LLC slices
+        to index above the slice-select bits).
+    policy:
+        Replacement policy name accepted by :func:`repro.cache.replacement.make_policy`.
+    allocate_on_write:
+        When False, write misses do not fill the cache (GPU L1 behaviour).
+    """
+
+    def __init__(self, num_sets: int, assoc: int, index_shift: int = 0,
+                 policy: str = "lru", allocate_on_write: bool = True,
+                 name: str = ""):
+        if num_sets <= 0:
+            raise ValueError(f"num_sets must be positive, got {num_sets}")
+        if assoc <= 0:
+            raise ValueError("assoc must be positive")
+        self.name = name
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self.index_shift = index_shift
+        self.allocate_on_write = allocate_on_write
+        self._sets = [[_Line() for _ in range(assoc)] for _ in range(num_sets)]
+        self._policies = [make_policy(policy, assoc) for _ in range(num_sets)]
+        # stats
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    # ------------------------------------------------------------ indexing
+    def set_index(self, key: int) -> int:
+        return (key >> self.index_shift) % self.num_sets
+
+    # ------------------------------------------------------------- access
+    def probe(self, key: int) -> bool:
+        """Non-intrusive lookup: no stats, no recency update, no fill."""
+        lines = self._sets[self.set_index(key)]
+        return any(ln.valid and ln.key == key for ln in lines)
+
+    def access(self, key: int, is_write: bool = False) -> AccessResult:
+        """Lookup + (on miss) allocate.  Updates stats and recency."""
+        set_idx = self.set_index(key)
+        lines = self._sets[set_idx]
+        policy = self._policies[set_idx]
+
+        for way, ln in enumerate(lines):
+            if ln.valid and ln.key == key:
+                self.hits += 1
+                policy.on_access(way)
+                if is_write:
+                    ln.dirty = True
+                return AccessResult(hit=True)
+
+        self.misses += 1
+        if is_write and not self.allocate_on_write:
+            return AccessResult(hit=False, allocated=False)
+
+        # Allocate: prefer an invalid way, otherwise ask the policy.
+        victim_way = next((w for w, ln in enumerate(lines) if not ln.valid), None)
+        if victim_way is None:
+            victim_way = policy.victim()
+        victim = lines[victim_way]
+        evicted_key = victim.key if victim.valid else None
+        evicted_dirty = victim.dirty if victim.valid else False
+        if victim.valid:
+            self.evictions += 1
+            if victim.dirty:
+                self.writebacks += 1
+        victim.key = key
+        victim.valid = True
+        victim.dirty = bool(is_write)
+        policy.on_access(victim_way)
+        return AccessResult(hit=False, allocated=True,
+                            evicted_key=evicted_key, evicted_dirty=evicted_dirty)
+
+    def insert(self, key: int, dirty: bool = False) -> AccessResult:
+        """Fill ``key`` without touching hit/miss statistics (used when the
+        allocation happens at data-return time and the miss was already
+        counted at request time).  No-op when the key is already resident."""
+        set_idx = self.set_index(key)
+        lines = self._sets[set_idx]
+        policy = self._policies[set_idx]
+        for way, ln in enumerate(lines):
+            if ln.valid and ln.key == key:
+                policy.on_access(way)
+                if dirty:
+                    ln.dirty = True
+                return AccessResult(hit=True)
+        victim_way = next((w for w, ln in enumerate(lines) if not ln.valid), None)
+        if victim_way is None:
+            victim_way = policy.victim()
+        victim = lines[victim_way]
+        evicted_key = victim.key if victim.valid else None
+        evicted_dirty = victim.dirty if victim.valid else False
+        if victim.valid:
+            self.evictions += 1
+            if victim.dirty:
+                self.writebacks += 1
+        victim.key = key
+        victim.valid = True
+        victim.dirty = dirty
+        policy.on_access(victim_way)
+        return AccessResult(hit=False, allocated=True,
+                            evicted_key=evicted_key, evicted_dirty=evicted_dirty)
+
+    # --------------------------------------------------------- management
+    def invalidate(self, key: int) -> bool:
+        """Drop ``key`` if present; returns whether it was found."""
+        set_idx = self.set_index(key)
+        for way, ln in enumerate(self._sets[set_idx]):
+            if ln.valid and ln.key == key:
+                ln.valid = False
+                ln.dirty = False
+                self._policies[set_idx].on_invalidate(way)
+                return True
+        return False
+
+    def flush(self) -> tuple[int, int]:
+        """Invalidate everything.  Returns ``(valid_lines, dirty_lines)`` so
+        callers can account writeback traffic and reconfiguration time."""
+        valid = dirty = 0
+        for set_idx, lines in enumerate(self._sets):
+            for way, ln in enumerate(lines):
+                if ln.valid:
+                    valid += 1
+                    if ln.dirty:
+                        dirty += 1
+                        self.writebacks += 1
+                    ln.valid = False
+                    ln.dirty = False
+        return valid, dirty
+
+    def clean(self) -> int:
+        """Write back all dirty lines without invalidating.  Returns count."""
+        dirty = 0
+        for lines in self._sets:
+            for ln in lines:
+                if ln.valid and ln.dirty:
+                    dirty += 1
+                    ln.dirty = False
+                    self.writebacks += 1
+        return dirty
+
+    # -------------------------------------------------------------- stats
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    def occupancy(self) -> int:
+        """Number of valid lines currently resident."""
+        return sum(1 for lines in self._sets for ln in lines if ln.valid)
+
+    def resident_keys(self) -> list[int]:
+        """All valid keys (test/diagnostic helper)."""
+        return [ln.key for lines in self._sets for ln in lines if ln.valid]
+
+    def reset_stats(self) -> None:
+        self.hits = self.misses = self.evictions = self.writebacks = 0

@@ -1,0 +1,157 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``        simulate one benchmark under one LLC policy
+``compare``    one benchmark under all three policies, side by side
+``figure``     regenerate a paper figure (2, 3, 7, 11, 12, 13, 14, 15, 16)
+``tables``     print Tables 1 and 2
+``catalog``    list the benchmark suite with its category parameters
+``analyze``    characterize a generated workload trace
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.runner import (
+    experiment_config,
+    print_rows,
+    run_benchmark,
+)
+from repro.workloads.analysis import characterize, verify_category
+from repro.workloads.catalog import ALL_ABBRS, BENCHMARKS, build
+
+_FIGURES = {
+    "2": "repro.experiments.fig02_shared_vs_private",
+    "3": "repro.experiments.fig03_locality",
+    "7": "repro.experiments.fig07_noc_design_space",
+    "11": "repro.experiments.fig11_adaptive_performance",
+    "12": "repro.experiments.fig12_response_rate",
+    "13": "repro.experiments.fig13_miss_rate",
+    "14": "repro.experiments.fig14_noc_energy",
+    "15": "repro.experiments.fig15_multiprogram",
+    "16": "repro.experiments.fig16_sensitivity",
+}
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    res = run_benchmark(args.benchmark, args.mode, scale=args.scale)
+    print(f"{args.benchmark} [{args.mode}]: IPC {res.ipc:.2f} over "
+          f"{res.cycles:.0f} cycles")
+    print(f"  LLC: miss rate {res.llc_miss_rate:.3f}, response rate "
+          f"{res.llc_response_rate:.2f} flits/cycle")
+    print(f"  DRAM: {res.dram_reads} reads, {res.dram_writes} writes")
+    if args.mode == "adaptive":
+        print(f"  adaptive: {res.transitions} transitions, "
+              f"{res.time_in_private / res.cycles:.0%} time private")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    rows = []
+    base = None
+    for mode in ("shared", "private", "adaptive"):
+        res = run_benchmark(args.benchmark, mode, scale=args.scale)
+        base = base or res.ipc
+        rows.append({"mode": mode, "ipc": res.ipc, "vs_shared": res.ipc / base,
+                     "llc_miss": res.llc_miss_rate,
+                     "resp_rate": res.llc_response_rate})
+    print_rows(rows)
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    import importlib
+
+    module = importlib.import_module(_FIGURES[args.number])
+    module.main(scale=args.scale)
+    return 0
+
+
+def _cmd_tables(_args: argparse.Namespace) -> int:
+    from repro.experiments import tables
+
+    tables.main()
+    return 0
+
+
+def _cmd_catalog(_args: argparse.Namespace) -> int:
+    rows = []
+    for abbr in ALL_ABBRS:
+        s = BENCHMARKS[abbr]
+        rows.append({"abbr": abbr, "name": s.name, "category": s.category,
+                     "shared_mb": s.shared_mb, "kernels": s.num_kernels,
+                     "shared_frac": s.shared_frac,
+                     "instrs_per_access": s.instrs_per_access})
+    print_rows(rows)
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    workload = build(args.benchmark,
+                     total_accesses=int(40_000 * args.scale))
+    profile = characterize(workload)
+    for field in ("name", "category", "total_accesses", "distinct_lines",
+                  "footprint_mb", "write_fraction", "shared_line_fraction",
+                  "shared_access_fraction", "max_sharers",
+                  "accesses_per_line"):
+        value = getattr(profile, field)
+        if isinstance(value, float):
+            value = f"{value:.4f}"
+        print(f"  {field}: {value}")
+    problems = verify_category(profile)
+    if problems:
+        print("category violations:")
+        for p in problems:
+            print(f"  ! {p}")
+        return 1
+    print("category checks: OK")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Adaptive memory-side last-level GPU caching (ISCA'19) "
+                    "reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="simulate one benchmark")
+    p_run.add_argument("benchmark", choices=ALL_ABBRS)
+    p_run.add_argument("--mode", default="adaptive",
+                       choices=["shared", "private", "adaptive"])
+    p_run.add_argument("--scale", type=float, default=1.0)
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="all three LLC policies")
+    p_cmp.add_argument("benchmark", choices=ALL_ABBRS)
+    p_cmp.add_argument("--scale", type=float, default=1.0)
+    p_cmp.set_defaults(fn=_cmd_compare)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig.add_argument("number", choices=sorted(_FIGURES))
+    p_fig.add_argument("--scale", type=float, default=1.0)
+    p_fig.set_defaults(fn=_cmd_figure)
+
+    p_tab = sub.add_parser("tables", help="print Tables 1 and 2")
+    p_tab.set_defaults(fn=_cmd_tables)
+
+    p_cat = sub.add_parser("catalog", help="list the benchmark suite")
+    p_cat.set_defaults(fn=_cmd_catalog)
+
+    p_an = sub.add_parser("analyze", help="characterize a workload trace")
+    p_an.add_argument("benchmark", choices=ALL_ABBRS)
+    p_an.add_argument("--scale", type=float, default=1.0)
+    p_an.set_defaults(fn=_cmd_analyze)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,204 @@
+"""Baseline GPU configuration (paper Table 1) and derived geometry.
+
+Every experiment starts from :func:`GPUConfig.baseline` and overrides the
+fields it sweeps.  The config object is a plain frozen dataclass so sweeps can
+use :func:`dataclasses.replace` without aliasing surprises.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DRAMTiming:
+    """GDDR5 timing parameters in core-clock cycles (paper Table 1)."""
+
+    tCL: int = 12
+    tRP: int = 12
+    tRC: int = 40
+    tRAS: int = 28
+    tRCD: int = 12
+    tRRD: int = 6
+    tCCD: int = 2
+    tWR: int = 12
+
+
+@dataclass(frozen=True)
+class NoCConfig:
+    """Interconnect configuration.
+
+    ``topology`` is one of ``"hxbar"`` (hierarchical two-stage crossbar, the
+    paper's baseline), ``"full"`` (full crossbar) or ``"cxbar"`` (concentrated
+    crossbar).  ``channel_bytes`` is the flit width; the paper's default is a
+    32-byte channel.  ``concentration`` only applies to ``"cxbar"``.
+    """
+
+    topology: str = "hxbar"
+    channel_bytes: int = 32
+    router_pipeline_stages: int = 4
+    vcs_per_port: int = 1
+    flits_per_vc: int = 8
+    concentration: int = 2
+    # Long link length assumption used by the power model (mm); half the
+    # Pascal die edge, as in the paper (Section 5).
+    long_link_mm: float = 12.3
+    short_link_mm: float = 1.5
+
+    def flits_for_bytes(self, payload_bytes: int) -> int:
+        """Number of body flits needed to carry ``payload_bytes``.
+
+        Every packet additionally carries one head flit of header/address
+        metadata, accounted by the NoC packet model, not here.
+        """
+        if payload_bytes <= 0:
+            return 0
+        return -(-payload_bytes // self.channel_bytes)
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Parameters of the adaptive LLC controller (paper Section 4).
+
+    The paper uses 1M-cycle epochs with 50K-cycle profiling phases.  Scaled
+    experiments shrink both proportionally; the ratio is what matters.
+    """
+
+    enabled: bool = True
+    epoch_cycles: int = 1_000_000
+    profile_cycles: int = 50_000
+    # Cycles to wait after an epoch/kernel start before profiling begins, so
+    # the measurement reflects warm caches rather than the cold-start burst
+    # (scaled-down runs need this; at paper scale the epoch dwarfs warm-up).
+    profile_warmup_cycles: int = 0
+    atd_sampled_sets: int = 8
+    # Rule #1 threshold: private mode is adopted when its estimated miss rate
+    # is within this margin of the measured shared miss rate.
+    miss_rate_margin: float = 0.02
+    # Reconfiguration cost model (Section 4.1): drain in-flight packets,
+    # write back dirty lines / invalidate, power-gate or power-on MC-routers.
+    drain_cycles: int = 200
+    writeback_cycles_per_line: float = 0.25
+    power_gate_cycles: int = 30
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Baseline GPU architecture from paper Table 1.
+
+    80 SMs at 1400 MHz arranged in 8 clusters of 10; 8 memory controllers with
+    8 LLC slices each (64 slices, 96 KB per slice, 6 MB total); 48 KB 6-way L1
+    per SM; 32-byte-channel crossbar NoC; 900 GB/s aggregate DRAM bandwidth.
+    """
+
+    # --- SMs ---------------------------------------------------------------
+    num_sms: int = 80
+    clock_mhz: int = 1400
+    warp_size: int = 32
+    schedulers_per_sm: int = 2
+    threads_per_sm: int = 2048
+    registers_per_sm: int = 65536
+    shared_mem_per_sm_kb: int = 64
+    max_outstanding_misses: int = 48  # per-SM L1 MSHR entries
+
+    # --- clusters ----------------------------------------------------------
+    num_clusters: int = 8
+
+    # --- L1 ----------------------------------------------------------------
+    l1_size_kb: int = 48
+    l1_assoc: int = 6
+    line_bytes: int = 128
+
+    # --- LLC ---------------------------------------------------------------
+    num_memory_controllers: int = 8
+    llc_slices_per_mc: int = 8
+    llc_slice_kb: int = 96
+    llc_assoc: int = 16
+    llc_latency_cycles: int = 120
+
+    # --- DRAM --------------------------------------------------------------
+    dram_banks_per_mc: int = 16
+    dram_bandwidth_gbps: float = 900.0
+    dram_timing: DRAMTiming = field(default_factory=DRAMTiming)
+    address_mapping: str = "pae"  # "pae" | "hynix"
+
+    # --- NoC / adaptive ----------------------------------------------------
+    noc: NoCConfig = field(default_factory=NoCConfig)
+    adaptive: AdaptiveConfig = field(default_factory=AdaptiveConfig)
+
+    # --- scheduling ---------------------------------------------------------
+    cta_scheduler: str = "two_level_rr"  # "two_level_rr" | "bcs" | "dcs"
+
+    # ------------------------------------------------------------------ api
+    @staticmethod
+    def baseline() -> "GPUConfig":
+        """The paper's Table 1 configuration."""
+        return GPUConfig()
+
+    def replace(self, **kwargs) -> "GPUConfig":
+        """Return a copy with the given fields overridden."""
+        return dataclasses.replace(self, **kwargs)
+
+    # ------------------------------------------------------------- geometry
+    @property
+    def sms_per_cluster(self) -> int:
+        if self.num_sms % self.num_clusters:
+            raise ValueError(
+                f"{self.num_sms} SMs do not divide into {self.num_clusters} clusters"
+            )
+        return self.num_sms // self.num_clusters
+
+    @property
+    def num_llc_slices(self) -> int:
+        return self.num_memory_controllers * self.llc_slices_per_mc
+
+    @property
+    def llc_total_kb(self) -> int:
+        return self.num_llc_slices * self.llc_slice_kb
+
+    @property
+    def llc_sets_per_slice(self) -> int:
+        return self.llc_slice_kb * 1024 // (self.line_bytes * self.llc_assoc)
+
+    @property
+    def l1_sets(self) -> int:
+        return self.l1_size_kb * 1024 // (self.line_bytes * self.l1_assoc)
+
+    @property
+    def dram_bytes_per_cycle_per_mc(self) -> float:
+        """Peak DRAM bandwidth per memory controller in bytes per core cycle."""
+        total_bytes_per_cycle = self.dram_bandwidth_gbps * 1e9 / (self.clock_mhz * 1e6)
+        return total_bytes_per_cycle / self.num_memory_controllers
+
+    @property
+    def line_flits(self) -> int:
+        """Body flits needed to move one cache line through the NoC."""
+        return self.noc.flits_for_bytes(self.line_bytes)
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on geometrically impossible configurations.
+
+        The NoC/LLC co-design (Section 4.1) requires as many clusters as LLC
+        slices per memory controller so that bypassed MC-routers map each
+        cluster onto a private slice.
+        """
+        _ = self.sms_per_cluster
+        if self.llc_slices_per_mc != self.num_clusters:
+            raise ValueError(
+                "NoC/LLC co-design requires llc_slices_per_mc == num_clusters "
+                f"(got {self.llc_slices_per_mc} != {self.num_clusters})"
+            )
+        if self.llc_sets_per_slice <= 0:
+            raise ValueError(
+                f"LLC slice geometry holds less than one set "
+                f"({self.llc_slice_kb} KB / {self.llc_assoc}-way / {self.line_bytes} B)"
+            )
+        if self.line_bytes & (self.line_bytes - 1):
+            raise ValueError("line size must be a power of two")
+        if self.address_mapping not in ("pae", "hynix"):
+            raise ValueError(f"unknown address mapping {self.address_mapping!r}")
+        if self.noc.topology not in ("hxbar", "full", "cxbar"):
+            raise ValueError(f"unknown topology {self.noc.topology!r}")
+        if self.cta_scheduler not in ("two_level_rr", "bcs", "dcs"):
+            raise ValueError(f"unknown CTA scheduler {self.cta_scheduler!r}")

@@ -1,0 +1,38 @@
+"""The paper's contribution: adaptive memory-side last-level caching.
+
+* :mod:`repro.core.modes` — shared/private slice indexing and the atomics
+  escape hatch;
+* :mod:`repro.core.sampler` — online profiling state (ATD + LSP counters);
+* :mod:`repro.core.bandwidth_model` — the LSP/bandwidth performance model of
+  Section 4.4;
+* :mod:`repro.core.controller` — the epoch/profile state machine applying
+  transition Rules #1–#3;
+* :mod:`repro.core.reconfig` — the drain/flush/power-gate sequence and its
+  cycle cost.
+"""
+
+from repro.core.modes import LLCMode, preferred_static_mode, target_slice
+from repro.core.sampler import ProfileReport, ProfilingState
+from repro.core.bandwidth_model import (
+    llc_slice_parallelism,
+    supplied_bandwidth,
+    Decision,
+    decide_mode,
+)
+from repro.core.controller import AdaptiveController
+from repro.core.reconfig import ReconfigCost, Reconfigurator
+
+__all__ = [
+    "LLCMode",
+    "preferred_static_mode",
+    "target_slice",
+    "ProfileReport",
+    "ProfilingState",
+    "llc_slice_parallelism",
+    "supplied_bandwidth",
+    "Decision",
+    "decide_mode",
+    "AdaptiveController",
+    "ReconfigCost",
+    "Reconfigurator",
+]

@@ -1,0 +1,89 @@
+"""The lightweight performance model of Section 4.4.
+
+Two quantities drive the transition rules:
+
+* **LSP** (LLC slice parallelism): how evenly the access stream spreads over
+  slices, ``sum(counts) / max(counts)`` ∈ [1, N].
+* **Supplied bandwidth**: ``BW = hit_rate * LSP * LLC_slice_BW +
+  miss_rate * MEM_BW`` — the paper's equation, evaluated for both
+  organizations using profiled (shared) and estimated (private) inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.modes import LLCMode
+
+
+def llc_slice_parallelism(counts: Sequence[float]) -> float:
+    """Average number of LLC slices usefully working in parallel.
+
+    Equals ``len(counts)`` for a perfectly uniform stream and 1.0 when a
+    single slice receives everything.  Zero traffic counts as parallelism 1
+    (a single idle slice's worth)."""
+    if not counts:
+        raise ValueError("need at least one slice count")
+    if any(c < 0 for c in counts):
+        raise ValueError("slice counts cannot be negative")
+    peak = max(counts)
+    if peak == 0:
+        return 1.0
+    return sum(counts) / peak
+
+
+def supplied_bandwidth(hit_rate: float, lsp: float, llc_slice_bw: float,
+                       mem_bw: float) -> float:
+    """Bandwidth (bytes/cycle) the memory subsystem can supply.
+
+    First term: effective LLC bandwidth (hits stream from ``lsp`` parallel
+    slices at the per-slice raw bandwidth).  Second term: misses are served
+    at the raw DRAM bandwidth."""
+    if not 0.0 <= hit_rate <= 1.0:
+        raise ValueError(f"hit rate {hit_rate} out of [0,1]")
+    if lsp < 1.0 or llc_slice_bw <= 0 or mem_bw <= 0:
+        raise ValueError("lsp >= 1 and positive bandwidths required")
+    return hit_rate * lsp * llc_slice_bw + (1.0 - hit_rate) * mem_bw
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome of one profiling phase."""
+
+    mode: LLCMode
+    rule: str              # "rule1" | "rule2" | "stay_shared"
+    shared_miss_rate: float
+    private_miss_rate: float
+    shared_bw: float
+    private_bw: float
+
+
+def decide_mode(shared_miss_rate: float, private_miss_rate: float,
+                shared_lsp: float, private_lsp: float,
+                llc_slice_bw: float, mem_bw: float,
+                miss_rate_margin: float = 0.02) -> Decision:
+    """Apply transition rules #1 and #2 (Section 4.3).
+
+    Rule #1: similar miss rates → go private (enables power-gating for
+    free).  Rule #2: private's supplied bandwidth exceeds shared's → the
+    replication win beats the miss-rate loss → go private.  Otherwise stay
+    shared.  (Rule #3, reverting at epochs/kernels, lives in the
+    controller's state machine.)
+    """
+    shared_bw = supplied_bandwidth(1.0 - shared_miss_rate, shared_lsp,
+                                   llc_slice_bw, mem_bw)
+    private_bw = supplied_bandwidth(1.0 - private_miss_rate, private_lsp,
+                                    llc_slice_bw, mem_bw)
+
+    if private_miss_rate <= shared_miss_rate + miss_rate_margin:
+        rule, mode = "rule1", LLCMode.PRIVATE
+    elif private_bw > shared_bw:
+        rule, mode = "rule2", LLCMode.PRIVATE
+    else:
+        rule, mode = "stay_shared", LLCMode.SHARED
+
+    return Decision(mode=mode, rule=rule,
+                    shared_miss_rate=shared_miss_rate,
+                    private_miss_rate=private_miss_rate,
+                    shared_bw=shared_bw, private_bw=private_bw)

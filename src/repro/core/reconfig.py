@@ -1,0 +1,90 @@
+"""LLC reconfiguration sequencing and cost (Section 4.1, "Dynamic
+Reconfiguration").
+
+A transition stalls the SMs, drains in-flight packets, fixes up LLC
+contents, then power-gates or powers on the MC-routers:
+
+* shared → private: write back all dirty lines (the private LLC is
+  write-through, so nothing may stay dirty), keep contents (lines already
+  resident in a cluster's new private slice are still valid), gate the
+  MC-routers, engage the bypass.
+* private → shared: invalidate everything (a written line may have stale
+  read-only replicas in other clusters' slices, and shared indexing could
+  pick a stale copy), power the MC-routers back on.
+
+The paper measures the whole sequence at hundreds to a few thousand cycles;
+the cost model here reproduces that scale from the config constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import AdaptiveConfig
+from repro.core.modes import LLCMode
+
+
+@dataclass(frozen=True)
+class ReconfigCost:
+    """Cycle cost and traffic of one transition."""
+
+    stall_cycles: float
+    dirty_lines_written: int
+    lines_invalidated: int
+
+
+class Reconfigurator:
+    """Applies mode transitions to a GPU system's LLC slices and NoC."""
+
+    def __init__(self, cfg: AdaptiveConfig):
+        self.cfg = cfg
+        self.transitions = 0
+        self.total_stall_cycles = 0.0
+
+    def transition(self, system, now: float, to_mode: LLCMode) -> ReconfigCost:
+        """Switch ``system`` to ``to_mode``; returns the cost breakdown.
+
+        ``system`` must expose ``llc_slices``, ``mcs``, ``mapping`` and an
+        optional H-Xbar ``topology`` (anything with ``set_bypass`` /
+        ``note_gate_change``).
+        """
+        dirty_written = 0
+        invalidated = 0
+        if to_mode is LLCMode.PRIVATE:
+            for sl in system.llc_slices:
+                dirty_written += sl.clean()
+                sl.set_write_policy(write_through=True)
+            self._set_bypass(system, now, True)
+        else:
+            for sl in system.llc_slices:
+                valid, dirty = sl.flush()
+                invalidated += valid
+                dirty_written += dirty  # write-back residue, usually zero
+            for sl in system.llc_slices:
+                sl.set_write_policy(write_through=False)
+            self._set_bypass(system, now, False)
+
+        # Writebacks hit DRAM: account the traffic at the owning controller.
+        if dirty_written and hasattr(system, "mcs"):
+            per_mc = dirty_written // len(system.mcs)
+            for mc in system.mcs:
+                mc.write_requests += per_mc
+                mc.channel.writes += per_mc
+
+        stall = (self.cfg.drain_cycles
+                 + dirty_written * self.cfg.writeback_cycles_per_line
+                 + self.cfg.power_gate_cycles)
+        self.transitions += 1
+        self.total_stall_cycles += stall
+        return ReconfigCost(stall_cycles=stall,
+                            dirty_lines_written=dirty_written,
+                            lines_invalidated=invalidated)
+
+    @staticmethod
+    def _set_bypass(system, now: float, enabled: bool) -> None:
+        topo = getattr(system, "topology", None)
+        if topo is None or not hasattr(topo, "note_gate_change"):
+            return  # adaptive caching without the co-designed NoC
+        if getattr(system, "allow_bypass", True):
+            topo.set_bypass(enabled)
+            topo.note_gate_change(now)

@@ -1,0 +1,118 @@
+"""Online profiling state (Section 4.4 hardware).
+
+While the LLC runs shared, a profiling phase gathers:
+
+* the **measured shared miss rate** straight from the live slices (every
+  observed request carries its hit/miss outcome);
+* an **estimated private miss rate** from an auxiliary tag directory that
+  shadows one *private* slice: it replays the requests cluster 0 sends to
+  memory controller 0 — exactly the stream private slice (0, 0) would see —
+  against a same-geometry tag store;
+* eight 16-bit counters at the first cluster's SM-router counting that
+  cluster's requests per memory controller — the private-mode slice access
+  distribution (LSP input);
+* per-slice access counters for the measured shared-mode distribution.
+
+Total added hardware mirrors the paper: one sampled ATD (432 B class) plus
+8 x 16-bit counters.  Scaled-down simulations may raise
+``atd_sampled_sets`` to de-noise the estimate over short profile windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.atd import AuxiliaryTagDirectory
+from repro.config import GPUConfig
+from repro.core.bandwidth_model import llc_slice_parallelism
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """Everything the decision rules need, measured over one phase."""
+
+    sampled_accesses: int
+    shared_miss_rate: float
+    private_miss_rate: float
+    shared_lsp: float
+    private_lsp: float
+
+    @property
+    def usable(self) -> bool:
+        """A phase with too few sampled accesses cannot support a decision;
+        the controller stays shared (the safe default)."""
+        return self.sampled_accesses >= 16
+
+
+class ProfilingState:
+    """Collects one profiling phase's raw counters."""
+
+    def __init__(self, cfg: GPUConfig):
+        self.cfg = cfg
+        self.atd = AuxiliaryTagDirectory(
+            sampled_sets=min(cfg.adaptive.atd_sampled_sets,
+                             cfg.llc_sets_per_slice),
+            assoc=cfg.llc_assoc,
+            num_sets=cfg.llc_sets_per_slice,
+            num_routers=cfg.num_clusters,
+        )
+        # Measured shared-mode hit statistics over all observed requests.
+        self.shared_accesses = 0
+        self.shared_hits = 0
+        # 8 x 16-bit counters at SM-router 0 (private-slice distribution).
+        self.cluster0_per_mc = [0] * cfg.num_memory_controllers
+        # Measured shared-mode slice distribution.
+        self.per_slice = [0] * cfg.num_llc_slices
+        self.active = False
+
+    # ------------------------------------------------------------- phases
+    def start(self) -> None:
+        self.atd.reset()
+        self.shared_accesses = 0
+        self.shared_hits = 0
+        self.cluster0_per_mc = [0] * len(self.cluster0_per_mc)
+        self.per_slice = [0] * len(self.per_slice)
+        self.active = True
+
+    def stop(self) -> ProfileReport:
+        self.active = False
+        private_lsp_cluster0 = llc_slice_parallelism(self.cluster0_per_mc) \
+            if sum(self.cluster0_per_mc) else 1.0
+        shared_lsp = llc_slice_parallelism(self.per_slice) \
+            if sum(self.per_slice) else 1.0
+        # Scale cluster 0's LSP (over its 8 private slices) to the full
+        # 64-slice machine assuming cluster symmetry.
+        private_lsp = min(float(self.cfg.num_llc_slices),
+                          private_lsp_cluster0 * self.cfg.num_clusters)
+        shared_miss = (1.0 - self.shared_hits / self.shared_accesses
+                       if self.shared_accesses else 0.0)
+        return ProfileReport(
+            sampled_accesses=self.atd.sampled_accesses,
+            shared_miss_rate=shared_miss,
+            private_miss_rate=self.atd.private_miss_rate,
+            shared_lsp=shared_lsp,
+            private_lsp=private_lsp,
+        )
+
+    # ------------------------------------------------------------ observe
+    def observe_request(self, line_key: int, cluster_id: int, mc_id: int,
+                        slice_global: int, hit: bool) -> None:
+        """Feed one shared-mode LLC request (with its measured hit/miss
+        outcome) into the profiling counters."""
+        if not self.active:
+            return
+        self.shared_accesses += 1
+        if hit:
+            self.shared_hits += 1
+        if cluster_id == 0:
+            self.cluster0_per_mc[mc_id] += 1
+            if mc_id == 0:
+                # The shadow private slice (cluster 0, MC 0) sees exactly
+                # this stream; any recurrence within it is a private hit.
+                self.atd.observe(line_key, cluster_id)
+        self.per_slice[slice_global] += 1
+
+    # ----------------------------------------------------------- overhead
+    def hardware_bytes(self) -> int:
+        """ATD storage + the eight 16-bit counters (paper: 432 B + 16 B)."""
+        return self.atd.hardware_bytes() + 2 * len(self.cluster0_per_mc)

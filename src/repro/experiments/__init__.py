@@ -1,0 +1,23 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Every driver exposes ``run(scale=...)`` returning row dicts in the same
+shape as the paper's plot, plus ``print_rows`` for human-readable output.
+The ``scale`` knob multiplies trace lengths so CI-speed smoke runs and
+paper-scale runs share one code path.
+"""
+
+from repro.experiments.runner import (
+    DEFAULT_ACCESSES,
+    experiment_config,
+    run_benchmark,
+    run_pair,
+    scaled_adaptive_config,
+)
+
+__all__ = [
+    "DEFAULT_ACCESSES",
+    "experiment_config",
+    "run_benchmark",
+    "run_pair",
+    "scaled_adaptive_config",
+]

@@ -1,0 +1,47 @@
+"""Figure 2: normalized performance of a private vs shared LLC, per
+benchmark category, with the paper's harmonic-mean (HM) summary bars."""
+
+from __future__ import annotations
+
+from repro.experiments.runner import experiment_config, print_rows, run_benchmark
+from repro.sim.stats import harmonic_mean
+from repro.workloads.catalog import CATEGORIES
+
+
+def run(scale: float = 1.0, categories: list[str] | None = None) -> list[dict]:
+    """Rows: benchmark, category, shared/private IPC, normalized private."""
+    cfg = experiment_config()
+    rows = []
+    for category in categories or list(CATEGORIES):
+        speedups = []
+        for abbr in CATEGORIES[category]:
+            shared = run_benchmark(abbr, "shared", cfg, scale=scale)
+            private = run_benchmark(abbr, "private", cfg, scale=scale)
+            norm = private.ipc / shared.ipc
+            speedups.append(norm)
+            rows.append({
+                "benchmark": abbr,
+                "category": category,
+                "shared_ipc": shared.ipc,
+                "private_ipc": private.ipc,
+                "private_norm": norm,
+            })
+        rows.append({
+            "benchmark": "HM",
+            "category": category,
+            "shared_ipc": float("nan"),
+            "private_ipc": float("nan"),
+            "private_norm": harmonic_mean(speedups),
+        })
+    return rows
+
+
+def main(scale: float = 1.0) -> list[dict]:
+    rows = run(scale)
+    print("Figure 2 — normalized performance, private LLC vs shared LLC")
+    print_rows(rows)
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Figure 3: inter-cluster locality under the shared LLC — the fraction of
+LLC lines touched by 1 / 2 / 3-4 / 5-8 clusters per 1000-cycle window."""
+
+from __future__ import annotations
+
+from repro.experiments.runner import experiment_config, print_rows, run_benchmark
+from repro.workloads.catalog import CATEGORIES
+
+BUCKETS = ["1 cluster", "2 clusters", "3-4 clusters", "5-8 clusters"]
+
+
+def run(scale: float = 1.0, categories: list[str] | None = None) -> list[dict]:
+    cfg = experiment_config()
+    rows = []
+    for category in categories or list(CATEGORIES):
+        sums = [0.0] * 4
+        count = 0
+        for abbr in CATEGORIES[category]:
+            res = run_benchmark(abbr, "shared", cfg, scale=scale,
+                                collect_locality=True)
+            fr = res.locality_fractions or [0.0] * 4
+            row = {"benchmark": abbr, "category": category}
+            row.update({b: f for b, f in zip(BUCKETS, fr)})
+            rows.append(row)
+            sums = [s + f for s, f in zip(sums, fr)]
+            count += 1
+        avg = {"benchmark": "AVG", "category": category}
+        avg.update({b: s / max(count, 1) for b, s in zip(BUCKETS, sums)})
+        rows.append(avg)
+    return rows
+
+
+def main(scale: float = 1.0) -> list[dict]:
+    rows = run(scale)
+    print("Figure 3 — inter-cluster locality (shared LLC, 1000-cycle windows)")
+    print_rows(rows)
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Figure 7: NoC design-space exploration.
+
+Compares the full crossbar, concentrated crossbar (C-Xbar) and hierarchical
+crossbar (H-Xbar) at equal bisection bandwidth on (a) normalized IPC,
+(b) active silicon area with its buffer/crossbar/links/other split, and
+(c) normalized NoC power.  Pairings follow Section 3.4: full@32B ≡ H@32B
+(BW); C-Xbar(c)@32B ≡ H@(32/c)B for c ∈ {2, 4, 8}.
+"""
+
+from __future__ import annotations
+
+from repro.config import NoCConfig
+from repro.experiments.runner import experiment_config, print_rows, run_benchmark
+from repro.noc import NoCPowerModel, make_topology
+from repro.sim.stats import harmonic_mean
+
+#: (bandwidth label, [(name, topology, channel_bytes, concentration), ...])
+PAIRINGS = [
+    ("BW",   [("Full Xbar", "full", 32, 2), ("H-Xbar", "hxbar", 32, 2)]),
+    ("BW/2", [("C-Xbar c2", "cxbar", 32, 2), ("H-Xbar", "hxbar", 16, 2)]),
+    ("BW/4", [("C-Xbar c4", "cxbar", 32, 4), ("H-Xbar", "hxbar", 8, 2)]),
+    ("BW/8", [("C-Xbar c8", "cxbar", 32, 8), ("H-Xbar", "hxbar", 4, 2)]),
+]
+
+#: One representative workload per category drives the timing comparison.
+WORKLOADS = ["RN", "GEMM", "BS"]
+
+
+def _cfg_for(topology: str, channel: int, concentration: int):
+    return experiment_config(noc=NoCConfig(topology=topology,
+                                           channel_bytes=channel,
+                                           concentration=concentration))
+
+
+def run(scale: float = 1.0, workloads: list[str] | None = None) -> list[dict]:
+    workloads = workloads or WORKLOADS
+    model = NoCPowerModel()
+    rows = []
+    baseline_ipc: dict[str, float] = {}
+    baseline_power: float | None = None
+
+    for bw_label, designs in PAIRINGS:
+        for name, topo, channel, conc in designs:
+            cfg = _cfg_for(topo, channel, conc)
+            ipcs = []
+            energy_pj = 0.0
+            cycles = 0.0
+            for abbr in workloads:
+                res = run_benchmark(abbr, "shared", cfg, scale=scale,
+                                    with_energy=True)
+                ipcs.append(res.ipc)
+                energy_pj += res.energy.noc_total
+                cycles += res.cycles
+            area = model.area(make_topology(cfg).inventory())
+            power = energy_pj / max(cycles, 1e-9)
+            if not baseline_ipc:
+                baseline_ipc = {w: i for w, i in zip(workloads, ipcs)}
+            if baseline_power is None:
+                baseline_power = power
+            norm_ipc = harmonic_mean([i / baseline_ipc[w]
+                                      for w, i in zip(workloads, ipcs)])
+            rows.append({
+                "bandwidth": bw_label,
+                "design": name,
+                "norm_ipc": norm_ipc,
+                "area_mm2": area.total,
+                "area_buffer": area.buffer,
+                "area_crossbar": area.crossbar,
+                "area_links": area.links,
+                "area_other": area.other,
+                "norm_power": power / baseline_power,
+            })
+    return rows
+
+
+def main(scale: float = 1.0) -> list[dict]:
+    rows = run(scale)
+    print("Figure 7 — NoC design space (normalized to the full crossbar)")
+    print_rows(rows)
+    return rows
+
+
+if __name__ == "__main__":
+    main()

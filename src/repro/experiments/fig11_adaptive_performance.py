@@ -1,0 +1,46 @@
+"""Figure 11: normalized IPC of shared, private, and adaptive LLCs over all
+17 benchmarks, grouped by category with HM summary bars."""
+
+from __future__ import annotations
+
+from repro.experiments.runner import experiment_config, print_rows, run_benchmark
+from repro.sim.stats import harmonic_mean
+from repro.workloads.catalog import CATEGORIES
+
+MODES = ["shared", "private", "adaptive"]
+
+
+def run(scale: float = 1.0, categories: list[str] | None = None) -> list[dict]:
+    cfg = experiment_config()
+    rows = []
+    for category in categories or list(CATEGORIES):
+        norms = {m: [] for m in MODES}
+        for abbr in CATEGORIES[category]:
+            results = {m: run_benchmark(abbr, m, cfg, scale=scale)
+                       for m in MODES}
+            base = results["shared"].ipc
+            row = {"benchmark": abbr, "category": category}
+            for m in MODES:
+                row[f"{m}_norm"] = results[m].ipc / base
+                norms[m].append(results[m].ipc / base)
+            row["adaptive_time_in_private"] = (
+                results["adaptive"].time_in_private
+                / results["adaptive"].cycles)
+            rows.append(row)
+        hm_row = {"benchmark": "HM", "category": category,
+                  "adaptive_time_in_private": float("nan")}
+        for m in MODES:
+            hm_row[f"{m}_norm"] = harmonic_mean(norms[m])
+        rows.append(hm_row)
+    return rows
+
+
+def main(scale: float = 1.0) -> list[dict]:
+    rows = run(scale)
+    print("Figure 11 — normalized IPC: shared vs private vs adaptive LLC")
+    print_rows(rows)
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Figure 12: LLC response rate (flits/cycle) for the private-cache-friendly
+workloads under shared, private, and adaptive LLCs."""
+
+from __future__ import annotations
+
+from repro.experiments.runner import experiment_config, print_rows, run_benchmark
+from repro.sim.stats import harmonic_mean
+from repro.workloads.catalog import CATEGORIES
+
+MODES = ["shared", "private", "adaptive"]
+
+
+def run(scale: float = 1.0) -> list[dict]:
+    cfg = experiment_config()
+    rows = []
+    ratios = {m: [] for m in MODES}
+    for abbr in CATEGORIES["private"]:
+        results = {m: run_benchmark(abbr, m, cfg, scale=scale) for m in MODES}
+        base = results["shared"].llc_response_rate
+        row = {"benchmark": abbr}
+        for m in MODES:
+            row[f"{m}_resp"] = results[m].llc_response_rate
+            ratios[m].append(results[m].llc_response_rate / base)
+        rows.append(row)
+    hm = {"benchmark": "HM(ratio)"}
+    for m in MODES:
+        hm[f"{m}_resp"] = harmonic_mean(ratios[m])
+    rows.append(hm)
+    return rows
+
+
+def main(scale: float = 1.0) -> list[dict]:
+    rows = run(scale)
+    print("Figure 12 — LLC response rate (flits/cycle), private-friendly apps")
+    print_rows(rows)
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Figure 14: NoC energy of the adaptive LLC normalized to the shared LLC
+for the private-cache-friendly and neutral workloads, with the
+buffer/crossbar/links/other split, plus the total-system energy change."""
+
+from __future__ import annotations
+
+from repro.experiments.runner import experiment_config, print_rows, run_benchmark
+from repro.workloads.catalog import CATEGORIES
+
+
+def run(scale: float = 1.0) -> list[dict]:
+    cfg = experiment_config()
+    rows = []
+    noc_savings = []
+    system_savings = []
+    for category in ("private", "neutral"):
+        for abbr in CATEGORIES[category]:
+            shared = run_benchmark(abbr, "shared", cfg, scale=scale,
+                                   with_energy=True)
+            adaptive = run_benchmark(abbr, "adaptive", cfg, scale=scale,
+                                     with_energy=True)
+            base = shared.energy.noc_total
+            adp = adaptive.energy.noc
+            noc_norm = adp.total / base
+            system_norm = adaptive.energy.total / shared.energy.total
+            noc_savings.append(1 - noc_norm)
+            system_savings.append(1 - system_norm)
+            rows.append({
+                "benchmark": abbr,
+                "category": category,
+                "noc_norm": noc_norm,
+                "buffer": adp.buffer / base,
+                "crossbar": adp.crossbar / base,
+                "links": adp.links / base,
+                "other": adp.other / base,
+                "system_norm": system_norm,
+            })
+    n = len(rows)
+    rows.append({
+        "benchmark": "AVG", "category": "-",
+        "noc_norm": 1 - sum(noc_savings) / n,
+        "buffer": float("nan"), "crossbar": float("nan"),
+        "links": float("nan"), "other": float("nan"),
+        "system_norm": 1 - sum(system_savings) / n,
+    })
+    return rows
+
+
+def main(scale: float = 1.0) -> list[dict]:
+    rows = run(scale)
+    print("Figure 14 — NoC energy (adaptive / shared), private-friendly + neutral")
+    print_rows(rows)
+    return rows
+
+
+if __name__ == "__main__":
+    main()

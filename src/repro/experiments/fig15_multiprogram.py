@@ -1,0 +1,58 @@
+"""Figure 15: two-program system throughput (STP).
+
+All (shared-friendly x private-friendly) pairs co-execute with each program
+on half of every cluster (Figure 9's placement).  STP follows Eyerman &
+Eeckhout: ``sum_i IPC_i(together) / IPC_i(alone)``, with the alone runs on
+the full GPU under the shared LLC baseline.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import (
+    experiment_config,
+    print_rows,
+    run_benchmark,
+    run_pair,
+)
+from repro.metrics.perf import system_throughput
+from repro.workloads.multiprogram import all_shared_private_pairs
+
+
+def run(scale: float = 1.0, pairs: list[tuple[str, str]] | None = None
+        ) -> list[dict]:
+    cfg = experiment_config()
+    pairs = pairs or all_shared_private_pairs()
+    alone: dict[str, float] = {}
+    for abbr in {a for p in pairs for a in p}:
+        alone[abbr] = run_benchmark(abbr, "shared", cfg, scale=scale,
+                                    max_kernels=1).ipc
+    rows = []
+    for a, b in pairs:
+        row = {"pair": f"{a}+{b}"}
+        for mode in ("shared", "adaptive"):
+            res = run_pair(a, b, mode, cfg, scale=scale)
+            ipcs = {p.name: p.ipc for p in res.programs}
+            row[f"{mode}_stp"] = system_throughput(
+                [ipcs[a], ipcs[b]], [alone[a], alone[b]])
+        row["gain"] = row["adaptive_stp"] / row["shared_stp"]
+        rows.append(row)
+    rows.sort(key=lambda r: r["shared_stp"])
+    n = len(rows)
+    rows.append({
+        "pair": "AVG",
+        "shared_stp": sum(r["shared_stp"] for r in rows) / n,
+        "adaptive_stp": sum(r["adaptive_stp"] for r in rows) / n,
+        "gain": sum(r["gain"] for r in rows) / n,
+    })
+    return rows
+
+
+def main(scale: float = 1.0, pairs=None) -> list[dict]:
+    rows = run(scale, pairs)
+    print("Figure 15 — multi-program STP (sorted), shared vs adaptive LLC")
+    print_rows(rows)
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Figure 16: sensitivity of the adaptive LLC's gain to address mapping,
+NoC channel width, SM count, L1 size, and CTA scheduling policy.
+
+Each sensitivity point reruns the private-cache-friendly set under the
+shared baseline and the adaptive LLC with one parameter changed, and
+reports the harmonic-mean normalized IPC (adaptive / shared) — the paper's
+bar pairs.
+"""
+
+from __future__ import annotations
+
+from repro.config import NoCConfig
+from repro.experiments.runner import experiment_config, print_rows, run_benchmark
+from repro.sim.stats import harmonic_mean
+from repro.workloads.catalog import CATEGORIES
+
+WORKLOADS = CATEGORIES["private"]
+
+
+def _point(label: str, group: str, cfg, scale: float,
+           workloads: list[str]) -> dict:
+    gains = []
+    for abbr in workloads:
+        shared = run_benchmark(abbr, "shared", cfg, scale=scale)
+        adaptive = run_benchmark(abbr, "adaptive", cfg, scale=scale)
+        gains.append(adaptive.ipc / shared.ipc)
+    return {"group": group, "point": label,
+            "adaptive_over_shared": harmonic_mean(gains)}
+
+
+def sensitivity_points(scale: float = 1.0,
+                       workloads: list[str] | None = None,
+                       groups: list[str] | None = None) -> list[dict]:
+    workloads = workloads or WORKLOADS
+    rows = []
+
+    def want(group: str) -> bool:
+        return groups is None or group in groups
+
+    if want("address_mapping"):
+        for label, mapping in [("PAE", "pae"), ("Hynix", "hynix")]:
+            cfg = experiment_config(address_mapping=mapping)
+            rows.append(_point(label, "address_mapping", cfg, scale, workloads))
+    if want("channel_width"):
+        for width in (64, 32, 16):
+            cfg = experiment_config(noc=NoCConfig(channel_bytes=width))
+            rows.append(_point(f"{width}B", "channel_width", cfg, scale,
+                               workloads))
+    if want("sm_count"):
+        for sms in (40, 80, 160):
+            clusters = sms // 10  # keep 10 SMs per cluster, as in the paper
+            cfg = experiment_config(num_sms=sms, num_clusters=clusters,
+                                    llc_slices_per_mc=clusters)
+            rows.append(_point(f"{sms} SMs", "sm_count", cfg, scale,
+                               workloads))
+    if want("l1_size"):
+        for kb in (48, 64, 96, 128):
+            cfg = experiment_config(l1_size_kb=kb)
+            rows.append(_point(f"{kb}KB", "l1_size", cfg, scale, workloads))
+    if want("cta_scheduler"):
+        for label, policy in [("RR", "two_level_rr"), ("BCS", "bcs"),
+                              ("DCS", "dcs")]:
+            cfg = experiment_config(cta_scheduler=policy)
+            rows.append(_point(label, "cta_scheduler", cfg, scale, workloads))
+    return rows
+
+
+def run(scale: float = 1.0, workloads: list[str] | None = None,
+        groups: list[str] | None = None) -> list[dict]:
+    return sensitivity_points(scale, workloads, groups)
+
+
+def main(scale: float = 1.0) -> list[dict]:
+    rows = run(scale)
+    print("Figure 16 — sensitivity of adaptive/shared HM speedup")
+    print_rows(rows)
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Terminal bar charts for the experiment drivers.
+
+The paper's figures are grouped bar charts; these helpers render the same
+series as Unicode bars so a reproduction run reads like the paper without
+leaving the terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def hbar(value: float, vmax: float, width: int = 40) -> str:
+    """A horizontal bar of ``value`` against full-scale ``vmax``."""
+    if vmax <= 0:
+        raise ValueError("vmax must be positive")
+    frac = max(0.0, min(1.0, value / vmax))
+    cells = frac * width
+    full = int(cells)
+    rem = int((cells - full) * (len(_BLOCKS) - 1))
+    bar = "█" * full
+    if full < width and rem:
+        bar += _BLOCKS[rem]
+    return bar.ljust(width)
+
+
+def bar_chart(series: Mapping[str, float], title: str = "",
+              vmax: Optional[float] = None, width: int = 40,
+              reference: Optional[float] = None) -> str:
+    """Render one named series as rows of bars.
+
+    ``reference`` draws a marker column (e.g. 1.0 for normalized charts).
+    """
+    if not series:
+        return "(empty chart)"
+    peak = vmax if vmax is not None else max(series.values())
+    if peak <= 0:
+        peak = 1.0
+    label_w = max(len(k) for k in series)
+    lines = [title] if title else []
+    for name, value in series.items():
+        bar = hbar(value, peak, width)
+        if reference is not None and 0 < reference <= peak:
+            pos = min(width - 1, int(reference / peak * width))
+            if bar[pos] == " ":
+                bar = bar[:pos] + "|" + bar[pos + 1:]
+        lines.append(f"{name.ljust(label_w)} {bar} {value:.3f}")
+    return "\n".join(lines)
+
+
+def grouped_chart(rows: Sequence[Mapping], label_key: str,
+                  value_keys: Sequence[str], title: str = "",
+                  width: int = 32) -> str:
+    """Render multiple series per row (the paper's grouped bars)."""
+    if not rows:
+        return "(empty chart)"
+    peak = max((float(r[k]) for r in rows for k in value_keys
+                if isinstance(r.get(k), (int, float)) and r[k] == r[k]),
+               default=1.0)
+    lines = [title] if title else []
+    label_w = max(len(str(r[label_key])) for r in rows)
+    key_w = max(len(k) for k in value_keys)
+    for r in rows:
+        lines.append(str(r[label_key]))
+        for k in value_keys:
+            v = r.get(k)
+            if not isinstance(v, (int, float)) or v != v:  # NaN guard
+                continue
+            lines.append(f"  {k.ljust(key_w)} "
+                         f"{hbar(float(v), peak, width)} {float(v):.3f}")
+    return "\n".join(lines)

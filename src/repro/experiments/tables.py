@@ -1,0 +1,73 @@
+"""Tables 1 and 2: the baseline configuration and the benchmark catalog."""
+
+from __future__ import annotations
+
+from repro.config import GPUConfig
+from repro.experiments.runner import print_rows
+from repro.workloads.catalog import BENCHMARKS, CATEGORIES
+
+_CLASS_LABEL = {"shared": "shared", "private": "private", "neutral": "neutral"}
+
+
+def table1_rows(cfg: GPUConfig | None = None) -> list[dict]:
+    """Table 1 — baseline GPU architecture."""
+    cfg = cfg or GPUConfig.baseline()
+    t = cfg.dram_timing
+    return [
+        {"parameter": "Streaming Multiprocessors",
+         "value": f"{cfg.num_sms} SMs, {cfg.clock_mhz} MHz"},
+        {"parameter": "Warp Size", "value": str(cfg.warp_size)},
+        {"parameter": "Schedulers/Core", "value": str(cfg.schedulers_per_sm)},
+        {"parameter": "Number of Threads/Core", "value": str(cfg.threads_per_sm)},
+        {"parameter": "Registers/Core", "value": str(cfg.registers_per_sm)},
+        {"parameter": "Shared Memory/Core",
+         "value": f"{cfg.shared_mem_per_sm_kb} KB"},
+        {"parameter": "L1 Data Cache/Core",
+         "value": (f"{cfg.l1_size_kb} KB, {cfg.l1_assoc}-way, LRU, "
+                   f"{cfg.line_bytes} B line")},
+        {"parameter": "Memory Controllers",
+         "value": str(cfg.num_memory_controllers)},
+        {"parameter": "LLC slices/MC",
+         "value": (f"{cfg.llc_slices_per_mc} x {cfg.llc_slice_kb} KB, "
+                   f"{cfg.llc_assoc}-way, LRU")},
+        {"parameter": "LLC",
+         "value": (f"{cfg.llc_total_kb // 1024} MB, "
+                   f"{cfg.llc_latency_cycles} cycles access time")},
+        {"parameter": "Interconnection Network",
+         "value": (f"{cfg.noc.topology}, {cfg.noc.channel_bytes} B channel, "
+                   f"{cfg.noc.router_pipeline_stages}-stage router")},
+        {"parameter": "DRAM Bandwidth",
+         "value": (f"FR-FCFS, {cfg.dram_banks_per_mc} banks/MC, "
+                   f"{cfg.dram_bandwidth_gbps:.0f} GB/s")},
+        {"parameter": "GDDR5 Timing",
+         "value": (f"tCL={t.tCL} tRP={t.tRP} tRC={t.tRC} tRAS={t.tRAS} "
+                   f"tRCD={t.tRCD} tRRD={t.tRRD} tCCD={t.tCCD} tWR={t.tWR}")},
+    ]
+
+
+def table2_rows() -> list[dict]:
+    """Table 2 — the 17-benchmark suite with footprints and classes."""
+    rows = []
+    for category, abbrs in CATEGORIES.items():
+        for abbr in abbrs:
+            spec = BENCHMARKS[abbr]
+            rows.append({
+                "benchmark": spec.name,
+                "abbr": abbr,
+                "shared_mb": spec.shared_mb,
+                "kernels": spec.num_kernels,
+                "llc_class": _CLASS_LABEL[category],
+            })
+    return rows
+
+
+def main() -> None:
+    print("Table 1 — baseline GPU architecture")
+    print_rows(table1_rows())
+    print()
+    print("Table 2 — GPU benchmarks")
+    print_rows(table2_rows())
+
+
+if __name__ == "__main__":
+    main()

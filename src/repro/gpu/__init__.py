@@ -1,0 +1,12 @@
+"""GPU substrate: SMs, clusters, CTA scheduling, and the assembled system."""
+
+from repro.gpu.cta import assign_ctas
+from repro.gpu.sm import StreamingMultiprocessor
+from repro.gpu.system import GPUSystem, RunResult
+
+__all__ = [
+    "assign_ctas",
+    "StreamingMultiprocessor",
+    "GPUSystem",
+    "RunResult",
+]

@@ -1,0 +1,67 @@
+"""CTA-to-SM scheduling policies (Table 1 + Section 6.4).
+
+* ``two_level_rr`` — the baseline: CTAs round-robin across *clusters* first,
+  then across the SMs of each cluster, balancing load over clusters.
+* ``bcs`` — block CTA scheduling (Lee et al. [54]): pairs of adjacent CTAs
+  land on the same SM to improve L1 locality.
+* ``dcs`` — distributed CTA scheduling (MCM-GPU [32]): the CTA space is cut
+  into contiguous chunks, one chunk per cluster, reducing inter-cluster
+  sharing of neighbouring CTAs.
+"""
+
+from __future__ import annotations
+
+
+def assign_ctas(policy: str, num_ctas: int, num_sms: int,
+                sms_per_cluster: int, sm_whitelist: list[int] | None = None
+                ) -> list[list[int]]:
+    """Map CTA ids to SMs.  Returns ``per_sm[sm_id] = [cta ids...]`` in
+    execution order.
+
+    ``sm_whitelist`` restricts placement to a subset of SMs (multi-program
+    co-execution gives each program half of every cluster).
+    """
+    if num_ctas < 0:
+        raise ValueError("negative CTA count")
+    if num_sms <= 0 or sms_per_cluster <= 0 or num_sms % sms_per_cluster:
+        raise ValueError("invalid SM geometry")
+    sms = list(range(num_sms)) if sm_whitelist is None else sorted(sm_whitelist)
+    if not sms:
+        raise ValueError("no SMs available for placement")
+    per_sm: list[list[int]] = [[] for _ in range(num_sms)]
+
+    if policy == "two_level_rr":
+        # Group available SMs by cluster, then deal CTAs cluster-round-robin.
+        clusters: dict[int, list[int]] = {}
+        for sm in sms:
+            clusters.setdefault(sm // sms_per_cluster, []).append(sm)
+        cluster_ids = sorted(clusters)
+        rr_within = {c: 0 for c in cluster_ids}
+        for cta in range(num_ctas):
+            c = cluster_ids[cta % len(cluster_ids)]
+            members = clusters[c]
+            sm = members[rr_within[c] % len(members)]
+            rr_within[c] += 1
+            per_sm[sm].append(cta)
+    elif policy == "bcs":
+        # Adjacent CTA pairs share an SM; SMs visited in id order.
+        block = 2
+        for cta in range(num_ctas):
+            sm = sms[(cta // block) % len(sms)]
+            per_sm[sm].append(cta)
+    elif policy == "dcs":
+        # Contiguous CTA ranges per cluster, round-robin inside the cluster.
+        clusters = {}
+        for sm in sms:
+            clusters.setdefault(sm // sms_per_cluster, []).append(sm)
+        cluster_ids = sorted(clusters)
+        n_cl = len(cluster_ids)
+        chunk = -(-num_ctas // n_cl) if num_ctas else 0
+        for cta in range(num_ctas):
+            c = cluster_ids[min(cta // chunk, n_cl - 1)] if chunk else cluster_ids[0]
+            members = clusters[c]
+            sm = members[(cta % chunk) % len(members)] if chunk else members[0]
+            per_sm[sm].append(cta)
+    else:
+        raise ValueError(f"unknown CTA scheduling policy {policy!r}")
+    return per_sm

@@ -1,0 +1,551 @@
+"""The assembled GPU system: SMs + L1s + NoC + LLC slices + DRAM + the
+adaptive controller, driven by the discrete-event engine.
+
+One :class:`GPUSystem` runs one workload (or a two-program mix) under one of
+three LLC policies:
+
+* ``"shared"``  — conventional shared memory-side LLC (the paper's baseline);
+* ``"private"`` — statically private per-cluster slices (write-through,
+  MC-routers bypassed from cycle 0 on the H-Xbar);
+* ``"adaptive"``— the paper's contribution: starts shared, profiles, and
+  reconfigures per Rules #1–#3.
+
+Request life cycle (all times computed by threading through bandwidth
+servers, one engine event per L1 miss):
+
+    SM issue → request network → LLC slice tag/data ports
+      → (miss: DRAM bank + bus) → reply network → MSHR release → SM wakes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.config import GPUConfig
+from repro.core.controller import AdaptiveController
+from repro.core.modes import LLCMode, target_slice
+from repro.core.reconfig import ReconfigCost
+from repro.gpu.cta import assign_ctas
+from repro.gpu.sm import StreamingMultiprocessor
+from repro.mem.address_map import make_mapping
+from repro.mem.controller import MemoryController
+from repro.metrics.locality import InterClusterLocalityTracker
+from repro.noc.topology import make_topology
+from repro.cache.llc_slice import LLCSlice
+from repro.sim.engine import Engine
+from repro.workloads.multiprogram import MultiProgramWorkload
+from repro.workloads.trace import Workload
+
+
+@dataclass
+class ProgramStats:
+    """Per-program results for multi-program runs."""
+
+    name: str
+    instructions: float
+    ipc: float
+
+
+@dataclass
+class RunResult:
+    """Everything the experiment drivers read off a finished run."""
+
+    workload: str
+    mode: str
+    cycles: float
+    instructions: float
+    ipc: float
+    # LLC
+    llc_accesses: int
+    llc_hits: int
+    llc_misses: int
+    llc_miss_rate: float
+    llc_response_flits: float
+    llc_response_rate: float
+    # L1
+    l1_miss_rate: float
+    # DRAM
+    dram_reads: int
+    dram_writes: int
+    dram_bytes: float
+    # adaptive bookkeeping
+    transitions: int = 0
+    stall_cycles: float = 0.0
+    time_in_private: float = 0.0
+    gated_cycles: float = 0.0
+    mode_history: list = field(default_factory=list)
+    decisions: list = field(default_factory=list)
+    # multi-program
+    programs: list[ProgramStats] = field(default_factory=list)
+    # optional Figure 3 histogram fractions [1, 2, 3-4, 5-8 clusters]
+    locality_fractions: Optional[list[float]] = None
+    # optional SystemEnergyReport attached by the experiment runner
+    energy: Optional[object] = None
+
+
+class _ProgramContext:
+    """One co-running application: its workload, SMs, and controller."""
+
+    def __init__(self, program_id: int, workload: Workload, sm_ids: list[int]):
+        self.program_id = program_id
+        self.workload = workload
+        self.sm_ids = sm_ids
+        self.kernel_idx = 0
+        self.pending_sms = 0
+        self.done = False
+        self.controller: Optional[AdaptiveController] = None
+        self.static_mode = LLCMode.SHARED
+
+    @property
+    def mode(self) -> LLCMode:
+        if self.controller is not None:
+            return self.controller.mode
+        return self.static_mode
+
+
+class GPUSystem:
+    """A complete simulated GPU bound to one workload and LLC policy."""
+
+    def __init__(self, cfg: GPUConfig, workload, mode: str = "shared",
+                 collect_locality: bool = False,
+                 locality_window: float = 1000.0):
+        if mode not in ("shared", "private", "adaptive"):
+            raise ValueError(f"unknown LLC policy {mode!r}")
+        cfg.validate()
+        self.cfg = cfg
+        self.mode_name = mode
+        self.engine = Engine()
+        self.mapping = make_mapping(cfg.address_mapping,
+                                    cfg.num_memory_controllers,
+                                    cfg.llc_slices_per_mc,
+                                    cfg.dram_banks_per_mc)
+        self.topology = make_topology(cfg)
+        # Slice/MC selection is hash-based (XOR folds), so the low line-key
+        # bits keep their entropy and index the slice sets directly:
+        # consecutive lines fill consecutive sets.
+        self.llc_slices = [
+            LLCSlice(slice_id=i, num_sets=cfg.llc_sets_per_slice,
+                     assoc=cfg.llc_assoc, index_shift=0,
+                     line_flits=cfg.line_flits,
+                     latency=float(cfg.llc_latency_cycles))
+            for i in range(cfg.num_llc_slices)
+        ]
+        self.mcs = [MemoryController(m, cfg, self.mapping)
+                    for m in range(cfg.num_memory_controllers)]
+        self.sms = [StreamingMultiprocessor(i, cfg) for i in range(cfg.num_sms)]
+        self._sm_kernel_done = [True] * cfg.num_sms
+        self.global_stall_until = 0.0
+        # The system owns bypass state (multi-program needs consensus).
+        self.allow_bypass = False
+        self.locality = (InterClusterLocalityTracker(locality_window,
+                                                     weighted=True)
+                         if collect_locality else None)
+
+        self.programs = self._build_programs(workload)
+        self._configure_mode()
+
+    # ------------------------------------------------------------ assembly
+    def _build_programs(self, workload) -> list[_ProgramContext]:
+        if isinstance(workload, MultiProgramWorkload):
+            spc = self.cfg.sms_per_cluster
+            sms_a = [s for s in range(self.cfg.num_sms)
+                     if workload.program_of_sm(s, spc) == 0]
+            sms_b = [s for s in range(self.cfg.num_sms)
+                     if workload.program_of_sm(s, spc) == 1]
+            a, b = workload.programs
+            for sm in self.sms:
+                sm.program_id = 0 if sm.sm_id in set(sms_a) else 1
+            return [_ProgramContext(0, a, sms_a), _ProgramContext(1, b, sms_b)]
+        if not isinstance(workload, Workload):
+            raise TypeError("workload must be a Workload or MultiProgramWorkload")
+        for sm in self.sms:
+            sm.program_id = 0
+        return [_ProgramContext(0, workload, list(range(self.cfg.num_sms)))]
+
+    def _configure_mode(self) -> None:
+        if self.mode_name == "private":
+            for prog in self.programs:
+                prog.static_mode = LLCMode.PRIVATE
+            for sl in self.llc_slices:
+                sl.set_write_policy(write_through=True)
+            self._update_bypass(0.0)
+        elif self.mode_name == "adaptive":
+            for prog in self.programs:
+                prog.controller = AdaptiveController(
+                    self.cfg, self.engine, self,
+                    on_transition=self._make_transition_hook(prog),
+                    force_shared=prog.workload.uses_atomics,
+                )
+
+    def _make_transition_hook(self, prog: _ProgramContext):
+        def hook(now: float, mode: LLCMode, cost: ReconfigCost) -> None:
+            self._stall_all(now + cost.stall_cycles)
+            self._update_bypass(now)
+        return hook
+
+    # -------------------------------------------------------------- bypass
+    def _update_bypass(self, now: float) -> None:
+        """Gate the MC-routers iff every program runs private (Section 4.1:
+        mixed-mode co-execution cannot bypass)."""
+        topo = self.topology
+        if not hasattr(topo, "note_gate_change"):
+            return
+        want = all(p.mode is LLCMode.PRIVATE for p in self.programs)
+        if want != topo.bypass:
+            topo.set_bypass(want)
+            topo.note_gate_change(now)
+
+    def _stall_all(self, until: float) -> None:
+        if until <= self.global_stall_until:
+            return
+        self.global_stall_until = until
+        for sm in self.sms:
+            sm.stall_until(until)
+
+    # ----------------------------------------------------------------- run
+    def run(self, max_cycles: Optional[float] = None) -> RunResult:
+        """Execute the workload to completion (or ``max_cycles``)."""
+        for prog in self.programs:
+            self._launch_kernel(prog, now=0.0)
+        self.engine.run(until=max_cycles)
+        if not all(p.done for p in self.programs) and max_cycles is None:
+            raise RuntimeError("simulation deadlocked: event queue drained "
+                               "with unfinished programs")
+        for prog in self.programs:
+            if prog.controller is not None:
+                prog.controller.shutdown()
+        return self._collect()
+
+    # --------------------------------------------------------- kernel flow
+    def _launch_kernel(self, prog: _ProgramContext, now: float) -> None:
+        kern = prog.workload.kernels[prog.kernel_idx]
+        per_sm = assign_ctas(self.cfg.cta_scheduler, len(kern.ctas),
+                             self.cfg.num_sms, self.cfg.sms_per_cluster,
+                             sm_whitelist=prog.sm_ids)
+        prog.pending_sms = 0
+        for sm_id in prog.sm_ids:
+            sm = self.sms[sm_id]
+            cta_streams = [(kern.ctas[c].keys, kern.ctas[c].writes)
+                           for c in per_sm[sm_id]]
+            sm.load_kernel(cta_streams, kern.warps_per_cta,
+                           kern.instrs_per_access, now,
+                           barrier_interval=kern.barrier_interval,
+                           l1_bypass_lo=kern.l1_bypass_lo,
+                           l1_bypass_hi=kern.l1_bypass_hi)
+            if sm.live_accesses:
+                self._sm_kernel_done[sm_id] = False
+                prog.pending_sms += 1
+                self.engine.schedule(max(now, sm.next_issue_time),
+                                     lambda s=sm: self._sm_wake(s))
+            else:
+                self._sm_kernel_done[sm_id] = True
+        if prog.controller is not None:
+            prog.controller.on_kernel_launch(now)
+        if prog.pending_sms == 0:
+            self._finish_kernel(prog, now)
+
+    def _finish_kernel(self, prog: _ProgramContext, now: float) -> None:
+        prog.kernel_idx += 1
+        if prog.kernel_idx >= len(prog.workload.kernels):
+            prog.done = True
+            if prog.controller is not None:
+                prog.controller.shutdown()
+            return
+        self._launch_kernel(prog, now)
+
+    def _maybe_finish_sm(self, sm: StreamingMultiprocessor) -> None:
+        if self._sm_kernel_done[sm.sm_id] or not sm.drained:
+            return
+        self._sm_kernel_done[sm.sm_id] = True
+        prog = self.programs[sm.program_id]
+        prog.pending_sms -= 1
+        if prog.pending_sms == 0:
+            self._finish_kernel(prog, self.engine.now)
+
+    # ------------------------------------------------------------ SM loop
+    def _sm_wake(self, sm: StreamingMultiprocessor) -> None:
+        """Drain the SM's ready-warp queue as far as current time allows.
+
+        One access per ``gap_cycles`` issue slot, warps rotated round-robin.
+        A warp whose read misses the L1 blocks until its line's fill; warps
+        missing on the same line merge into one MSHR entry.  L1 state is
+        allocate-on-fill so repeated reads within a fill window merge rather
+        than turning into premature hits.
+        """
+        sm.wake_scheduled = False
+        now = self.engine.now
+        ready = sm.ready
+        while ready:
+            warp = ready[0]
+
+            # CTA barrier (__syncthreads): park until siblings arrive.
+            if warp.at_barrier:
+                group = warp.group
+                warp.next_barrier += group.interval
+                group.arrived += 1
+                ready.popleft()
+                if group.arrived >= group.live:
+                    group.arrived = 0
+                    ready.append(warp)
+                    ready.extend(group.parked)
+                    group.parked.clear()
+                else:
+                    group.parked.append(warp)
+                continue
+
+            issue_at = max(sm.next_issue_time, self.global_stall_until)
+            if issue_at < now:
+                # The SM was waiting on fills/credits: it resumes issuing
+                # from the present, still paced at one access per gap.
+                issue_at = now
+            key = warp.keys[warp.cursor]
+            is_write = warp.writes[warp.cursor]
+            bypass = sm.bypasses_l1(key)
+
+            if not is_write and not bypass and sm.l1.probe(key):
+                # L1 hit: purely SM-local, consume eagerly at its own time.
+                sm.l1.access(key, False)
+                warp.cursor += 1
+                sm.next_issue_time = issue_at + sm.gap_cycles
+                sm.retire_access()
+                ready.popleft()
+                sm.requeue(warp)
+                continue
+
+            # NoC-bound access: must be issued at its architectural time,
+            # and must not mutate any state before that time arrives.
+            if issue_at > now:
+                if not sm.wake_scheduled:
+                    sm.wake_scheduled = True
+                    self.engine.schedule(issue_at,
+                                         lambda s=sm: self._sm_wake(s))
+                return
+
+            if is_write:
+                if sm.write_credits <= 0:
+                    # Store buffer full: stall until a write retires (the
+                    # retirement event re-wakes the SM).
+                    return
+                sm.write_credits -= 1
+                sm.l1.access(key, True)
+                warp.cursor += 1
+                sm.next_issue_time = issue_at + sm.gap_cycles
+                sm.retire_access()
+                sm.issued_writes += 1
+                self._issue_write(sm, key, issue_at)
+                ready.popleft()
+                sm.requeue(warp)
+                continue
+
+            # L1 read miss: the warp blocks on the line (in-order warp).
+            entry = sm.mshr.lookup(key)
+            if entry is not None:
+                sm.mshr.merge(key, waiter=warp)
+            else:
+                if sm.mshr.full:
+                    # Head-of-queue warp waits for any MSHR release; the
+                    # next fill re-wakes the SM.
+                    return
+                entry = sm.mshr.allocate(key, issue_at)
+                entry.waiters.append(warp)
+                sm.issued_reads += 1
+                self._issue_read(sm, key, issue_at)
+            if not bypass:
+                sm.l1.record_read_miss()
+            warp.waiting_on = key
+            warp.cursor += 1
+            sm.next_issue_time = issue_at + sm.gap_cycles
+            sm.retire_access()
+            ready.popleft()
+            if warp.exhausted and warp.group is not None:
+                warp.group.on_exhaust(ready)
+        if sm.drained:
+            self._maybe_finish_sm(sm)
+
+    # ------------------------------------------------------- request paths
+    def _route(self, sm: StreamingMultiprocessor, key: int) -> tuple[int, int, int]:
+        prog = self.programs[sm.program_id]
+        mc, slice_local = target_slice(prog.mode, self.mapping, key,
+                                       sm.cluster_id)
+        return mc, slice_local, mc * self.cfg.llc_slices_per_mc + slice_local
+
+    def _observe(self, sm: StreamingMultiprocessor, key: int, mc: int,
+                 slice_global: int, when: float) -> None:
+        if self.locality is not None:
+            self.locality.note(key, sm.cluster_id, when)
+
+    def _profile(self, sm: StreamingMultiprocessor, key: int, mc: int,
+                 slice_global: int, hit: bool) -> None:
+        """Feed the adaptive profiler (only meaningful under shared mode,
+        where the outcome of the *shared* organization is being measured)."""
+        prog = self.programs[sm.program_id]
+        ctrl = prog.controller
+        if (ctrl is not None and prog.mode is LLCMode.SHARED
+                and ctrl.profiler.active):
+            ctrl.profiler.observe_request(key, sm.cluster_id, mc,
+                                          slice_global, hit)
+
+    # Requests advance through the pipeline via one event per queue
+    # boundary (slice arrival, DRAM return, reply launch).  Each shared
+    # server is therefore fed in true arrival order — threading the whole
+    # path at issue time would let a request delayed upstream inflate the
+    # completion times of later-issued but earlier-arriving requests.
+
+    def _issue_read(self, sm: StreamingMultiprocessor, key: int,
+                    when: float) -> None:
+        mc, slice_local, slice_global = self._route(sm, key)
+        self._observe(sm, key, mc, slice_global, when)
+        arrive = self.topology.request_arrival(when, sm.sm_id, mc,
+                                               slice_local, is_write=False)
+        self.engine.schedule(
+            arrive, lambda: self._read_at_slice(sm, key, mc, slice_local,
+                                                slice_global))
+
+    def _read_at_slice(self, sm: StreamingMultiprocessor, key: int, mc: int,
+                       slice_local: int, slice_global: int) -> None:
+        now = self.engine.now
+        sl = self.llc_slices[slice_global]
+        hit, done, wb_key, _ = sl.access(now, key, is_write=False)
+        self._profile(sm, key, mc, slice_global, hit)
+        if wb_key is not None:
+            self.mcs[mc].write(done, wb_key)
+        if hit:
+            # ``done`` is the response tail-flit exit plus pipeline latency.
+            self.engine.schedule(
+                done, lambda: self._launch_reply(sm, key, mc, slice_local))
+        else:
+            dram_ready = self.mcs[mc].read(done, key)
+            self.engine.schedule(
+                dram_ready, lambda: self._fill_at_slice(sm, key, mc,
+                                                        slice_local,
+                                                        slice_global))
+
+    def _fill_at_slice(self, sm: StreamingMultiprocessor, key: int, mc: int,
+                       slice_local: int, slice_global: int) -> None:
+        sl = self.llc_slices[slice_global]
+        exit_time = sl.fill_response(self.engine.now)
+        self.engine.schedule(
+            exit_time + sl.latency,
+            lambda: self._launch_reply(sm, key, mc, slice_local))
+
+    def _launch_reply(self, sm: StreamingMultiprocessor, key: int, mc: int,
+                      slice_local: int) -> None:
+        reply = self.topology.reply_arrival(self.engine.now, mc, slice_local,
+                                            sm.sm_id, is_write=False)
+        self.engine.schedule(reply, lambda: self._on_fill(sm, key))
+
+    def _issue_write(self, sm: StreamingMultiprocessor, key: int,
+                     when: float) -> None:
+        mc, slice_local, slice_global = self._route(sm, key)
+        self._observe(sm, key, mc, slice_global, when)
+        arrive = self.topology.request_arrival(when, sm.sm_id, mc,
+                                               slice_local, is_write=True)
+        self.engine.schedule(
+            arrive, lambda: self._write_at_slice(sm, key, mc, slice_global))
+
+    def _write_at_slice(self, sm: StreamingMultiprocessor, key: int, mc: int,
+                        slice_global: int) -> None:
+        now = self.engine.now
+        sl = self.llc_slices[slice_global]
+        prog_private = self.programs[sm.program_id].mode is LLCMode.PRIVATE
+        hit, done, wb_key, dram_write = sl.access(now, key, is_write=True,
+                                                  write_through=prog_private)
+        self._profile(sm, key, mc, slice_global, hit)
+        if wb_key is not None:
+            self.mcs[mc].write(done, wb_key)
+        if dram_write:
+            # Write-through drains to DRAM in the background (it occupies
+            # bank and bus, but the store retires at the LLC).
+            self.mcs[mc].write(done, key)
+        # Fire-and-forget: the store-buffer credit returns when the write
+        # retires at the LLC slice.
+        self.engine.schedule(max(done, now),
+                             lambda: self._on_write_retired(sm))
+
+    def _on_write_retired(self, sm: StreamingMultiprocessor) -> None:
+        sm.write_credits += 1
+        if not sm.wake_scheduled:
+            self._sm_wake(sm)
+
+    def _on_fill(self, sm: StreamingMultiprocessor, key: int) -> None:
+        waiters = sm.mshr.release(key)
+        if not sm.bypasses_l1(key):
+            sm.l1.fill(key)
+        sm.wake_warps(key, waiters)
+        if not sm.wake_scheduled:
+            self._sm_wake(sm)
+        elif sm.drained:
+            self._maybe_finish_sm(sm)
+
+    # ------------------------------------------------------------- results
+    def _collect(self) -> RunResult:
+        cycles = max(self.engine.now, 1e-9)
+        instructions = sum(sm.retired_instructions for sm in self.sms)
+        llc_accesses = sum(sl.accesses for sl in self.llc_slices)
+        llc_hits = sum(sl.hits for sl in self.llc_slices)
+        llc_misses = llc_accesses - llc_hits
+        response_flits = sum(sl.response_flits for sl in self.llc_slices)
+        l1_reads = sum(sm.l1.read_accesses for sm in self.sms)
+        l1_misses = sum(sm.l1.read_misses for sm in self.sms)
+        dram_reads = sum(mc.read_requests for mc in self.mcs)
+        dram_writes = sum(mc.write_requests for mc in self.mcs)
+
+        transitions = stall = in_private = 0.0
+        mode_history: list = []
+        decisions: list = []
+        for prog in self.programs:
+            ctrl = prog.controller
+            if ctrl is None:
+                continue
+            transitions += ctrl.transitions
+            stall += ctrl.total_stall_cycles
+            in_private += ctrl.time_in_private(cycles)
+            mode_history.extend((t, m.value, r) for t, m, r in ctrl.mode_history)
+            decisions.extend(ctrl.decisions)
+        if self.mode_name == "private":
+            in_private = cycles * len(self.programs)
+
+        gated = 0.0
+        if hasattr(self.topology, "gated_time"):
+            gated = self.topology.gated_time(cycles)
+
+        program_stats = []
+        if len(self.programs) > 1:
+            for prog in self.programs:
+                instrs = sum(self.sms[s].retired_instructions
+                             for s in prog.sm_ids)
+                program_stats.append(ProgramStats(
+                    name=prog.workload.name, instructions=instrs,
+                    ipc=instrs / cycles))
+
+        fractions = None
+        if self.locality is not None:
+            self.locality.finalize()
+            fractions = self.locality.fractions()
+
+        return RunResult(
+            workload="+".join(p.workload.name for p in self.programs),
+            mode=self.mode_name,
+            cycles=cycles,
+            instructions=instructions,
+            ipc=instructions / cycles,
+            llc_accesses=llc_accesses,
+            llc_hits=llc_hits,
+            llc_misses=llc_misses,
+            llc_miss_rate=llc_misses / llc_accesses if llc_accesses else 0.0,
+            llc_response_flits=response_flits,
+            llc_response_rate=response_flits / cycles,
+            l1_miss_rate=l1_misses / l1_reads if l1_reads else 0.0,
+            dram_reads=dram_reads,
+            dram_writes=dram_writes,
+            dram_bytes=float(dram_reads + dram_writes) * self.cfg.line_bytes,
+            transitions=int(transitions),
+            stall_cycles=stall,
+            time_in_private=in_private / len(self.programs),
+            gated_cycles=gated,
+            mode_history=sorted(mode_history),
+            decisions=decisions,
+            programs=program_stats,
+            locality_fractions=fractions,
+        )

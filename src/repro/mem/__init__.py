@@ -1,0 +1,15 @@
+"""Memory subsystem: address mapping, GDDR5 bank timing, memory controllers."""
+
+from repro.mem.address_map import AddressMapping, HynixMapping, PAEMapping, make_mapping
+from repro.mem.dram import DRAMBank, DRAMChannel
+from repro.mem.controller import MemoryController
+
+__all__ = [
+    "AddressMapping",
+    "PAEMapping",
+    "HynixMapping",
+    "make_mapping",
+    "DRAMBank",
+    "DRAMChannel",
+    "MemoryController",
+]

@@ -1,0 +1,106 @@
+"""Address-to-resource mapping schemes.
+
+Given a *line key* (byte address / line size), a mapping picks the memory
+controller, the LLC slice within that controller (shared mode only), and the
+DRAM bank.  Two schemes from the paper's sensitivity study (Section 6.4):
+
+* **PAE** (page-address-entropy, Liu et al. [46]): XOR-folds high address
+  bits into the channel/bank selectors, spreading any regular stride evenly
+  over controllers and banks.  The paper's default — it makes the LLC-slice
+  access stream uniform, which the footnote confirms.
+* **Hynix** (datasheet mapping [53]): plain bit slicing.  Strided streams
+  land on few controllers/banks, producing the imbalance the paper uses to
+  show adaptive caching helps even more.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+def _xor_fold(value: int, width_bits: int, rounds: int = 4) -> int:
+    """XOR together ``rounds`` consecutive ``width_bits`` windows of value."""
+    mask = (1 << width_bits) - 1
+    out = 0
+    for r in range(rounds):
+        out ^= (value >> (r * width_bits)) & mask
+    return out
+
+
+class AddressMapping(ABC):
+    """Maps line keys to (mc, slice_local, bank)."""
+
+    def __init__(self, num_mcs: int, slices_per_mc: int, num_banks: int):
+        if min(num_mcs, slices_per_mc, num_banks) <= 0:
+            raise ValueError("geometry values must be positive")
+        self.num_mcs = num_mcs
+        self.slices_per_mc = slices_per_mc
+        self.num_banks = num_banks
+
+    @abstractmethod
+    def mc_of(self, line_key: int) -> int:
+        """Memory controller serving this line."""
+
+    @abstractmethod
+    def slice_of(self, line_key: int) -> int:
+        """LLC slice (local index within the MC) under *shared* caching."""
+
+    @abstractmethod
+    def bank_of(self, line_key: int) -> int:
+        """DRAM bank within the controller."""
+
+
+#: Channel/bank interleave granularity in lines: one DRAM row (2 KB of
+#: 128 B lines) stays on one controller and bank, preserving row-buffer
+#: locality for streaming accesses; only the *row id* is hashed.
+ROW_LINES = 16
+
+
+class PAEMapping(AddressMapping):
+    """Entropy-maximizing XOR mapping (uniform distribution by design).
+
+    Controller and bank selection hash the row id (so rows stay intact and
+    streaming keeps its row-buffer hits); LLC slice selection hashes at line
+    granularity (slices have no row buffers, finer spreading is free).
+    """
+
+    def mc_of(self, line_key: int) -> int:
+        return _xor_fold(line_key // ROW_LINES, 7) % self.num_mcs
+
+    def slice_of(self, line_key: int) -> int:
+        # Line-granular fold with a different window width, so consecutive
+        # lines of one row (same MC) still spread across that MC's slices
+        # and stay decorrelated from the MC hash.
+        return _xor_fold(line_key, 11) % self.slices_per_mc
+
+    def bank_of(self, line_key: int) -> int:
+        return _xor_fold((line_key // ROW_LINES) >> 2, 9) % self.num_banks
+
+
+class HynixMapping(AddressMapping):
+    """Datasheet bit-sliced mapping: low entropy, stride-sensitive.
+
+    Channel bits sit just above the row offset, bank bits above those, so a
+    large-stride stream (e.g. column walks) hits one controller and few
+    banks — the imbalanced request stream of the sensitivity study.
+    """
+
+    def mc_of(self, line_key: int) -> int:
+        return (line_key // ROW_LINES) % self.num_mcs
+
+    def slice_of(self, line_key: int) -> int:
+        return (line_key // ROW_LINES // self.num_mcs) % self.slices_per_mc
+
+    def bank_of(self, line_key: int) -> int:
+        return (line_key // ROW_LINES // self.num_mcs // self.slices_per_mc
+                ) % self.num_banks
+
+
+def make_mapping(name: str, num_mcs: int, slices_per_mc: int,
+                 num_banks: int) -> AddressMapping:
+    """Factory for ``"pae"`` / ``"hynix"``."""
+    if name == "pae":
+        return PAEMapping(num_mcs, slices_per_mc, num_banks)
+    if name == "hynix":
+        return HynixMapping(num_mcs, slices_per_mc, num_banks)
+    raise ValueError(f"unknown address mapping {name!r}")

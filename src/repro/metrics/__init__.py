@@ -1,0 +1,15 @@
+"""Performance metrics and characterization analyses."""
+
+from repro.metrics.locality import InterClusterLocalityTracker
+from repro.metrics.perf import (
+    normalized_performance,
+    system_throughput,
+    speedup_summary,
+)
+
+__all__ = [
+    "InterClusterLocalityTracker",
+    "normalized_performance",
+    "system_throughput",
+    "speedup_summary",
+]

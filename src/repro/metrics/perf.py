@@ -1,0 +1,35 @@
+"""Performance summary metrics used by the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.sim.stats import harmonic_mean
+
+
+def normalized_performance(ipc: float, baseline_ipc: float) -> float:
+    """IPC relative to a baseline run (Figures 2, 11, 16)."""
+    if baseline_ipc <= 0:
+        raise ValueError("baseline IPC must be positive")
+    return ipc / baseline_ipc
+
+
+def system_throughput(multi_ipcs: Sequence[float],
+                      alone_ipcs: Sequence[float]) -> float:
+    """STP for multi-program runs (Eyerman & Eeckhout [52], Figure 15):
+    ``STP = sum_i IPC_i(together) / IPC_i(alone)``."""
+    if len(multi_ipcs) != len(alone_ipcs) or not multi_ipcs:
+        raise ValueError("need matching, non-empty IPC vectors")
+    stp = 0.0
+    for together, alone in zip(multi_ipcs, alone_ipcs):
+        if alone <= 0:
+            raise ValueError("alone IPC must be positive")
+        stp += together / alone
+    return stp
+
+
+def speedup_summary(speedups: Mapping[str, float]) -> dict[str, float]:
+    """Add the paper's HM (harmonic mean) bar to a per-benchmark mapping."""
+    out = dict(speedups)
+    out["HM"] = harmonic_mean(list(speedups.values()))
+    return out

@@ -1,0 +1,33 @@
+"""Network-on-chip substrate.
+
+Three crossbar topologies from the paper's design-space exploration
+(Section 3): a full crossbar, a concentrated crossbar (C-Xbar) and the
+hierarchical two-stage crossbar (H-Xbar) that the adaptive LLC co-designs
+with.  All three expose the same two-call timing API
+(:meth:`~repro.noc.topology.BaseTopology.request_arrival` /
+:meth:`~repro.noc.topology.BaseTopology.reply_arrival`) plus flit accounting
+for the DSENT-like power/area model in :mod:`repro.noc.power`.
+"""
+
+from repro.noc.packet import Packet, request_flits, reply_flits
+from repro.noc.router import RouterModel
+from repro.noc.topology import BaseTopology, make_topology
+from repro.noc.full_xbar import FullCrossbar
+from repro.noc.concentrated_xbar import ConcentratedCrossbar
+from repro.noc.hierarchical_xbar import HierarchicalCrossbar
+from repro.noc.power import NoCPowerModel, NoCEnergyBreakdown, NoCAreaBreakdown
+
+__all__ = [
+    "Packet",
+    "request_flits",
+    "reply_flits",
+    "RouterModel",
+    "BaseTopology",
+    "make_topology",
+    "FullCrossbar",
+    "ConcentratedCrossbar",
+    "HierarchicalCrossbar",
+    "NoCPowerModel",
+    "NoCEnergyBreakdown",
+    "NoCAreaBreakdown",
+]

@@ -1,0 +1,85 @@
+"""Concentrated crossbar, C-Xbar (paper Figure 5).
+
+Concentration ``c`` makes groups of ``c`` SMs (and ``c`` LLC slices) share
+one network port through a concentrator/distributor, shrinking the switch
+radix by ``c`` at the cost of contention on the shared ports — which is why
+the paper observes C-Xbar with concentration 8 losing performance.  The
+shared port is the serialization point and is modelled as a
+:class:`~repro.sim.server.LatencyLink` (bandwidth server + wire latency).
+Round-robin arbitration at the concentrator is subsumed by FIFO service:
+at full load both give each sharer an equal fraction of the port.
+"""
+
+from __future__ import annotations
+
+from repro.config import GPUConfig
+from repro.noc.router import RouterModel
+from repro.noc.topology import (
+    LONG_LINK_CYCLES,
+    SHORT_LINK_CYCLES,
+    BaseTopology,
+    NoCInventory,
+    Wire,
+)
+from repro.sim.server import LatencyLink
+
+
+class ConcentratedCrossbar(BaseTopology):
+    """(80/c)x(64/c) crossbar with shared injection/ejection ports."""
+
+    def __init__(self, cfg: GPUConfig, concentration: int | None = None):
+        super().__init__(cfg)
+        c = concentration if concentration is not None else cfg.noc.concentration
+        if c <= 0:
+            raise ValueError("concentration must be positive")
+        if self.num_sms % c or self.num_slices % c:
+            raise ValueError(
+                f"concentration {c} does not divide {self.num_sms} SMs "
+                f"/ {self.num_slices} slices"
+            )
+        self.concentration = c
+        self.sm_groups = self.num_sms // c
+        self.slice_groups = self.num_slices // c
+        self.req_router = RouterModel("cx.req", self.sm_groups,
+                                      self.slice_groups, self.pipeline)
+        self.rep_router = RouterModel("cx.rep", self.slice_groups,
+                                      self.sm_groups, self.pipeline)
+        # Shared group ports (concentrator + long wire to the switch).
+        self.sm_ports = [LatencyLink(f"cx.smg{i}", LONG_LINK_CYCLES)
+                         for i in range(self.sm_groups)]
+        self.slice_ports = [LatencyLink(f"cx.slg{i}", LONG_LINK_CYCLES)
+                            for i in range(self.slice_groups)]
+        # Distribution fan-out on the far side of each network: the router
+        # output port already serializes the group, so these are wires.
+        self.req_dist = [Wire(f"cx.reqd{i}", SHORT_LINK_CYCLES)
+                         for i in range(self.num_slices)]
+        self.rep_dist = [Wire(f"cx.repd{i}", SHORT_LINK_CYCLES)
+                         for i in range(self.num_sms)]
+
+    def request_arrival(self, now: float, sm_id: int, mc_id: int,
+                        slice_local: int, is_write: bool) -> float:
+        flits = self.req_flits(is_write)
+        slice_id = self.slice_global(mc_id, slice_local)
+        t = self.sm_ports[sm_id // self.concentration].traverse(now, flits)
+        t = self.req_router.forward(t, slice_id // self.concentration, flits)
+        return self.req_dist[slice_id].traverse(t, flits)
+
+    def reply_arrival(self, now: float, mc_id: int, slice_local: int,
+                      sm_id: int, is_write: bool) -> float:
+        flits = self.rep_flits(is_write)
+        slice_id = self.slice_global(mc_id, slice_local)
+        t = self.slice_ports[slice_id // self.concentration].traverse(now, flits)
+        t = self.rep_router.forward(t, sm_id // self.concentration, flits)
+        return self.rep_dist[sm_id].traverse(t, flits)
+
+    def inventory(self) -> NoCInventory:
+        inv = NoCInventory()
+        cb = self.channel_bytes
+        long_mm = self.cfg.noc.long_link_mm
+        short_mm = self.cfg.noc.short_link_mm
+        inv.routers = [(self.req_router, cb), (self.rep_router, cb)]
+        inv.links = [(lk, long_mm, cb) for lk in self.sm_ports]
+        inv.links += [(lk, long_mm, cb) for lk in self.slice_ports]
+        inv.wires = [(w, short_mm, cb) for w in self.req_dist]
+        inv.wires += [(w, short_mm, cb) for w in self.rep_dist]
+        return inv

@@ -1,0 +1,55 @@
+"""Full crossbar (paper Figure 4).
+
+Every SM has a dedicated long link into one high-radix switch whose output
+ports drive the LLC slices directly; the reply network mirrors this.  The
+switch is enormous (80x64 at 32-byte width) which is exactly why the paper
+rules it out on area/power grounds — we reproduce that with the power model.
+"""
+
+from __future__ import annotations
+
+from repro.config import GPUConfig
+from repro.noc.router import RouterModel
+from repro.noc.topology import (
+    LONG_LINK_CYCLES,
+    BaseTopology,
+    NoCInventory,
+)
+from repro.sim.server import LatencyLink
+
+
+class FullCrossbar(BaseTopology):
+    """80x64 (request) + 64x80 (reply) single-stage crossbar."""
+
+    def __init__(self, cfg: GPUConfig):
+        super().__init__(cfg)
+        self.req_router = RouterModel("fx.req", self.num_sms, self.num_slices,
+                                      self.pipeline)
+        self.rep_router = RouterModel("fx.rep", self.num_slices, self.num_sms,
+                                      self.pipeline)
+        # Dedicated long injection links: SM -> switch, slice -> switch.
+        self.sm_links = [LatencyLink(f"fx.sm{i}", LONG_LINK_CYCLES)
+                         for i in range(self.num_sms)]
+        self.slice_links = [LatencyLink(f"fx.sl{i}", LONG_LINK_CYCLES)
+                            for i in range(self.num_slices)]
+
+    def request_arrival(self, now: float, sm_id: int, mc_id: int,
+                        slice_local: int, is_write: bool) -> float:
+        flits = self.req_flits(is_write)
+        t = self.sm_links[sm_id].traverse(now, flits)
+        return self.req_router.forward(t, self.slice_global(mc_id, slice_local), flits)
+
+    def reply_arrival(self, now: float, mc_id: int, slice_local: int,
+                      sm_id: int, is_write: bool) -> float:
+        flits = self.rep_flits(is_write)
+        t = self.slice_links[self.slice_global(mc_id, slice_local)].traverse(now, flits)
+        return self.rep_router.forward(t, sm_id, flits)
+
+    def inventory(self) -> NoCInventory:
+        inv = NoCInventory()
+        cb = self.channel_bytes
+        long_mm = self.cfg.noc.long_link_mm
+        inv.routers = [(self.req_router, cb), (self.rep_router, cb)]
+        inv.links = [(lk, long_mm, cb) for lk in self.sm_links]
+        inv.links += [(lk, long_mm, cb) for lk in self.slice_links]
+        return inv

@@ -1,0 +1,156 @@
+"""Hierarchical two-stage crossbar, H-Xbar (paper Figures 6, 8, 10).
+
+Stage one: one SM-router per cluster (10 SM inputs, one output per memory
+controller).  Stage two: one MC-router per memory controller (one input per
+SM-router, one output per LLC slice).  The long links run between the two
+stages; SM- and slice-side links are short because the routers sit next to
+their clients.
+
+The MC-routers are the reconfiguration lever (Section 4.2): with the LLC in
+private mode, input port *c* of every MC-router connects straight to output
+port *c* via a bypass path, the router logic is power-gated, and every
+cluster owns one slice per memory controller.  :meth:`set_bypass` toggles
+this; the topology tracks gated time for the energy model.
+"""
+
+from __future__ import annotations
+
+from repro.config import GPUConfig
+from repro.noc.router import RouterModel
+from repro.noc.topology import (
+    LONG_LINK_CYCLES,
+    SHORT_LINK_CYCLES,
+    BaseTopology,
+    NoCInventory,
+    Wire,
+)
+from repro.sim.server import LatencyLink
+
+#: Extra latency of the bypass mux inside a gated MC-router.
+BYPASS_CYCLES = 1.0
+
+
+class HierarchicalCrossbar(BaseTopology):
+    """Two-stage crossbar with bypassable second stage."""
+
+    def __init__(self, cfg: GPUConfig):
+        super().__init__(cfg)
+        if self.slices_per_mc != self.num_clusters:
+            raise ValueError(
+                "H-Xbar co-design needs one LLC slice per (MC, cluster) pair"
+            )
+        n_cl, n_mc = self.num_clusters, self.num_mcs
+        self.req_sm_routers = [
+            RouterModel(f"hx.req.smr{c}", self.sms_per_cluster, n_mc, self.pipeline)
+            for c in range(n_cl)
+        ]
+        self.req_mc_routers = [
+            RouterModel(f"hx.req.mcr{m}", n_cl, self.slices_per_mc, self.pipeline)
+            for m in range(n_mc)
+        ]
+        self.rep_mc_routers = [
+            RouterModel(f"hx.rep.mcr{m}", self.slices_per_mc, n_cl, self.pipeline)
+            for m in range(n_mc)
+        ]
+        self.rep_sm_routers = [
+            RouterModel(f"hx.rep.smr{c}", n_mc, self.sms_per_cluster, self.pipeline)
+            for c in range(n_cl)
+        ]
+        # Short injection links: each SM into its SM-router, each slice into
+        # its MC-router (these serialize the client's own port).
+        self.sm_links = [LatencyLink(f"hx.sm{i}", SHORT_LINK_CYCLES)
+                         for i in range(self.num_sms)]
+        self.slice_links = [LatencyLink(f"hx.sl{i}", SHORT_LINK_CYCLES)
+                            for i in range(self.num_slices)]
+        # Long inter-stage wires, one per (cluster, MC) direction pair.  The
+        # upstream router port serializes, so these are latency+stats wires.
+        self.req_long = [[Wire(f"hx.reqL.{c}.{m}", LONG_LINK_CYCLES)
+                          for m in range(n_mc)] for c in range(n_cl)]
+        self.rep_long = [[Wire(f"hx.repL.{m}.{c}", LONG_LINK_CYCLES)
+                          for c in range(n_cl)] for m in range(n_mc)]
+        # Slice-side distribution wires (MC-router output port serializes).
+        self.req_dist = [Wire(f"hx.reqd{i}", SHORT_LINK_CYCLES)
+                         for i in range(self.num_slices)]
+        self.rep_dist = [Wire(f"hx.repd{i}", SHORT_LINK_CYCLES)
+                         for i in range(self.num_sms)]
+        # Power-gating bookkeeping.
+        self._gate_started: float | None = None
+        self.gated_cycles = 0.0
+
+    # ------------------------------------------------------------- timing
+    def request_arrival(self, now: float, sm_id: int, mc_id: int,
+                        slice_local: int, is_write: bool) -> float:
+        flits = self.req_flits(is_write)
+        cluster = self.cluster_of(sm_id)
+        t = self.sm_links[sm_id].traverse(now, flits)
+        t = self.req_sm_routers[cluster].forward(t, mc_id, flits)
+        t = self.req_long[cluster][mc_id].traverse(t, flits)
+        if self.bypass:
+            if slice_local != cluster:
+                raise ValueError(
+                    "bypassed MC-router can only reach the requester's own "
+                    f"private slice (cluster {cluster}, asked {slice_local})"
+                )
+            return t + BYPASS_CYCLES
+        t = self.req_mc_routers[mc_id].forward(t, slice_local, flits)
+        return self.req_dist[self.slice_global(mc_id, slice_local)].traverse(t, flits)
+
+    def reply_arrival(self, now: float, mc_id: int, slice_local: int,
+                      sm_id: int, is_write: bool) -> float:
+        flits = self.rep_flits(is_write)
+        cluster = self.cluster_of(sm_id)
+        t = self.slice_links[self.slice_global(mc_id, slice_local)].traverse(now, flits)
+        if self.bypass and slice_local == cluster:
+            t = t + BYPASS_CYCLES
+        else:
+            # Either shared mode, or a reply issued before the LLC switched
+            # to private: the latter drains through the MC-router, which
+            # stays powered until in-flight packets clear (Section 4.1).
+            t = self.rep_mc_routers[mc_id].forward(t, cluster, flits)
+        t = self.rep_long[mc_id][cluster].traverse(t, flits)
+        t = self.rep_sm_routers[cluster].forward(t, sm_id % self.sms_per_cluster, flits)
+        return self.rep_dist[sm_id].traverse(t, flits)
+
+    # ------------------------------------------------------------- bypass
+    def set_bypass(self, enabled: bool) -> None:
+        """Engage/disengage the MC-router bypass (private/shared LLC)."""
+        if enabled == self.bypass:
+            return
+        self.bypass = enabled
+        # Track gated intervals via explicit timestamps from the caller; the
+        # system clocks this through note_gate_change().
+
+    def note_gate_change(self, now: float) -> None:
+        """Record the instant bypass state flipped, for gated-time stats."""
+        if self.bypass:
+            self._gate_started = now
+        elif self._gate_started is not None:
+            self.gated_cycles += now - self._gate_started
+            self._gate_started = None
+
+    def gated_time(self, now: float) -> float:
+        """Total cycles the MC-routers have spent power-gated."""
+        total = self.gated_cycles
+        if self.bypass and self._gate_started is not None:
+            total += now - self._gate_started
+        return total
+
+    # ---------------------------------------------------------- inventory
+    def inventory(self) -> NoCInventory:
+        inv = NoCInventory()
+        cb = self.channel_bytes
+        long_mm = self.cfg.noc.long_link_mm
+        short_mm = self.cfg.noc.short_link_mm
+        for r in (self.req_sm_routers + self.rep_sm_routers
+                  + self.req_mc_routers + self.rep_mc_routers):
+            inv.routers.append((r, cb))
+        inv.gated_routers = list(self.req_mc_routers + self.rep_mc_routers)
+        inv.links = [(lk, short_mm, cb) for lk in self.sm_links]
+        inv.links += [(lk, short_mm, cb) for lk in self.slice_links]
+        for row in self.req_long:
+            inv.wires += [(w, long_mm, cb) for w in row]
+        for row in self.rep_long:
+            inv.wires += [(w, long_mm, cb) for w in row]
+        inv.wires += [(w, short_mm, cb) for w in self.req_dist]
+        inv.wires += [(w, short_mm, cb) for w in self.rep_dist]
+        return inv

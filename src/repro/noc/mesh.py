@@ -1,0 +1,119 @@
+"""2D mesh NoC — the ablation baseline the paper argues *against*.
+
+Prior GPU NoC work (paper Section 7) presumes mesh topologies for their
+scalability, but a mesh provides all-to-all connectivity that memory-side
+GPU traffic (SMs ↔ LLC slices only) never uses.  This model lets the
+ablation benchmark quantify that argument: XY dimension-ordered routing
+over a grid whose left columns host SM concentrators and right columns
+host LLC-slice concentrators.
+
+Geometry: nodes are arranged in a ``rows x cols`` grid; the first
+``cols - mc_cols`` columns concentrate SMs, the last ``mc_cols`` columns
+concentrate LLC slices.  Every hop is one router (per-output-port
+serialization + pipeline latency) plus a short wire.
+"""
+
+from __future__ import annotations
+
+from repro.config import GPUConfig
+from repro.noc.router import RouterModel
+from repro.noc.topology import (
+    SHORT_LINK_CYCLES,
+    BaseTopology,
+    NoCInventory,
+    Wire,
+)
+from repro.sim.server import LatencyLink
+
+#: Mesh output-port indices.
+_EAST, _WEST, _NORTH, _SOUTH, _LOCAL = range(5)
+
+
+class MeshNoC(BaseTopology):
+    """Dimension-ordered (XY) 2D mesh with endpoint concentration."""
+
+    def __init__(self, cfg: GPUConfig, rows: int = 8, mc_cols: int = 2):
+        super().__init__(cfg)
+        self.rows = rows
+        if self.num_slices % (rows * mc_cols):
+            raise ValueError("slices do not tile the MC columns")
+        if self.num_sms % rows:
+            raise ValueError("SMs do not tile the mesh rows")
+        self.mc_cols = mc_cols
+        self.sm_cols = max(1, -(-self.num_sms // (rows * 10)))  # 10 SMs/node
+        self.cols = self.sm_cols + mc_cols
+        self.sms_per_node = self.num_sms // (rows * self.sm_cols)
+        self.slices_per_node = self.num_slices // (rows * mc_cols)
+        # One request-net and one reply-net router per node.
+        self.req_routers = [[RouterModel(f"mesh.req.{r}.{c}", 5, 5,
+                                         self.pipeline)
+                             for c in range(self.cols)] for r in range(rows)]
+        self.rep_routers = [[RouterModel(f"mesh.rep.{r}.{c}", 5, 5,
+                                         self.pipeline)
+                             for c in range(self.cols)] for r in range(rows)]
+        # Endpoint concentrators (shared injection ports).
+        self.sm_ports = [LatencyLink(f"mesh.smp{i}", SHORT_LINK_CYCLES)
+                         for i in range(rows * self.sm_cols)]
+        self.slice_ports = [LatencyLink(f"mesh.slp{i}", SHORT_LINK_CYCLES)
+                            for i in range(rows * mc_cols)]
+        self.hop_wire = Wire("mesh.hops", SHORT_LINK_CYCLES)
+
+    # ------------------------------------------------------------ geometry
+    def _sm_node(self, sm_id: int) -> tuple[int, int]:
+        node = sm_id // self.sms_per_node
+        return node % self.rows, node // self.rows
+
+    def _slice_node(self, slice_global: int) -> tuple[int, int]:
+        node = slice_global // self.slices_per_node
+        return node % self.rows, self.sm_cols + node // self.rows
+
+    def _route(self, routers, now: float, src: tuple[int, int],
+               dst: tuple[int, int], flits: int) -> float:
+        """XY routing: travel X (columns) first, then Y (rows)."""
+        r, c = src
+        t = now
+        while c != dst[1]:
+            port = _EAST if dst[1] > c else _WEST
+            t = routers[r][c].forward(t, port, flits)
+            t = self.hop_wire.traverse(t, flits)
+            c += 1 if dst[1] > c else -1
+        while r != dst[0]:
+            port = _SOUTH if dst[0] > r else _NORTH
+            t = routers[r][c].forward(t, port, flits)
+            t = self.hop_wire.traverse(t, flits)
+            r += 1 if dst[0] > r else -1
+        return routers[r][c].forward(t, _LOCAL, flits)
+
+    # -------------------------------------------------------------- timing
+    def request_arrival(self, now: float, sm_id: int, mc_id: int,
+                        slice_local: int, is_write: bool) -> float:
+        flits = self.req_flits(is_write)
+        src = self._sm_node(sm_id)
+        node = src[1] * self.rows + src[0]
+        t = self.sm_ports[node].traverse(now, flits)
+        dst = self._slice_node(self.slice_global(mc_id, slice_local))
+        return self._route(self.req_routers, t, src, dst, flits)
+
+    def reply_arrival(self, now: float, mc_id: int, slice_local: int,
+                      sm_id: int, is_write: bool) -> float:
+        flits = self.rep_flits(is_write)
+        slice_global = self.slice_global(mc_id, slice_local)
+        src = self._slice_node(slice_global)
+        node = (src[1] - self.sm_cols) * self.rows + src[0]
+        t = self.slice_ports[node].traverse(now, flits)
+        dst = self._sm_node(sm_id)
+        return self._route(self.rep_routers, t, src, dst, flits)
+
+    # ---------------------------------------------------------- inventory
+    def inventory(self) -> NoCInventory:
+        inv = NoCInventory()
+        cb = self.channel_bytes
+        short_mm = self.cfg.noc.short_link_mm
+        for grid in (self.req_routers, self.rep_routers):
+            for row in grid:
+                for router in row:
+                    inv.routers.append((router, cb))
+        inv.links = [(lk, short_mm, cb) for lk in self.sm_ports]
+        inv.links += [(lk, short_mm, cb) for lk in self.slice_ports]
+        inv.wires = [(self.hop_wire, short_mm, cb)]
+        return inv

@@ -1,0 +1,47 @@
+"""Packet and flit accounting.
+
+Wormhole switching splits a packet into a head flit (routing/address
+metadata) plus enough body flits to carry the payload at the channel width
+(paper Section 3.3).  Read requests are head-only; write requests and read
+replies carry a full cache line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A NoC packet (used by tests and diagnostics; the hot path passes raw
+    flit counts for speed)."""
+
+    src: int
+    dst: int
+    payload_bytes: int
+    channel_bytes: int
+    is_reply: bool = False
+
+    @property
+    def flits(self) -> int:
+        return packet_flits(self.payload_bytes, self.channel_bytes)
+
+
+def packet_flits(payload_bytes: int, channel_bytes: int) -> int:
+    """Head flit + payload serialization at the channel width."""
+    if channel_bytes <= 0:
+        raise ValueError("channel width must be positive")
+    if payload_bytes < 0:
+        raise ValueError("negative payload")
+    body = -(-payload_bytes // channel_bytes) if payload_bytes else 0
+    return 1 + body
+
+
+def request_flits(is_write: bool, line_bytes: int, channel_bytes: int) -> int:
+    """Flits of a memory request: reads are head-only, writes carry a line."""
+    return packet_flits(line_bytes if is_write else 0, channel_bytes)
+
+
+def reply_flits(is_write: bool, line_bytes: int, channel_bytes: int) -> int:
+    """Flits of a memory reply: reads return a line, writes a short ack."""
+    return packet_flits(0 if is_write else line_bytes, channel_bytes)

@@ -1,0 +1,69 @@
+"""Router timing model.
+
+A router is modelled as a set of per-output-port bandwidth servers (one flit
+per cycle each, the switch constraint that matters for throughput) plus a
+fixed pipeline latency (Table 1: 4 stages — route computation, VC allocation,
+switch allocation, traversal).  Input buffering and credit-based flow control
+are abstracted into the FIFO discipline of the servers: a downstream port that
+is busy backpressures by pushing completion times out, which is exactly what
+credits accomplish at steady state.
+
+The router counts every flit through its buffers and switch so the power
+model can convert activity into energy.
+"""
+
+from __future__ import annotations
+
+from repro.sim.server import BandwidthServer
+
+
+class RouterModel:
+    """An ``n_in`` x ``n_out`` wormhole router.
+
+    ``forward`` threads a packet through one output port and returns the time
+    the tail flit leaves the router (including pipeline latency).
+    """
+
+    def __init__(self, name: str, n_in: int, n_out: int,
+                 pipeline_stages: int = 4):
+        if n_in <= 0 or n_out <= 0:
+            raise ValueError("router needs at least one input and output port")
+        self.name = name
+        self.n_in = n_in
+        self.n_out = n_out
+        self.pipeline_stages = pipeline_stages
+        self.output_ports = [BandwidthServer(f"{name}.out{i}") for i in range(n_out)]
+        # activity counters for the power model
+        self.buffer_flits = 0.0   # flits written+read through input buffers
+        self.xbar_flits = 0.0     # flits through the switch
+        self.packets = 0
+
+    def forward(self, now: float, out_port: int, flits: int) -> float:
+        """Send ``flits`` through ``out_port`` starting at ``now``."""
+        if not 0 <= out_port < self.n_out:
+            raise IndexError(f"{self.name}: output port {out_port} out of range")
+        if flits <= 0:
+            raise ValueError("a packet has at least one (head) flit")
+        exit_time = self.output_ports[out_port].enqueue(now, float(flits))
+        self.buffer_flits += flits
+        self.xbar_flits += flits
+        self.packets += 1
+        return exit_time + self.pipeline_stages
+
+    def utilization(self, now: float) -> float:
+        """Mean output-port utilization."""
+        if not self.output_ports:
+            return 0.0
+        return sum(p.utilization(now) for p in self.output_ports) / self.n_out
+
+    def reset_activity(self) -> None:
+        self.buffer_flits = 0.0
+        self.xbar_flits = 0.0
+        self.packets = 0
+        for port in self.output_ports:
+            port.reset()
+
+    @property
+    def port_product(self) -> int:
+        """Switch complexity measure (inputs x outputs); drives area/power."""
+        return self.n_in * self.n_out

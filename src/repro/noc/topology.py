@@ -1,0 +1,136 @@
+"""Topology base class and shared wiring primitives.
+
+A topology owns two disjoint networks (requests SM→LLC, replies LLC→SM,
+Section 3.1) built from three primitives:
+
+* :class:`~repro.noc.router.RouterModel` — per-output-port serialization plus
+  pipeline latency;
+* :class:`~repro.sim.server.LatencyLink` — a *shared* injection/ejection port
+  that serializes at the channel width (e.g. a concentrator port);
+* :class:`Wire` — a point-to-point wire in series with a router port of the
+  same width; pure latency plus flit accounting, because the upstream port
+  already throttles the flow (charging serialization twice would turn
+  wormhole switching into store-and-forward).
+
+Timing convention: ``request_arrival``/``reply_arrival`` return the time the
+packet's tail flit reaches the destination component.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.config import GPUConfig
+from repro.noc.packet import reply_flits, request_flits
+from repro.noc.router import RouterModel
+from repro.sim.server import LatencyLink
+
+#: Wire propagation latencies (cycles) for the repeated global wires.
+LONG_LINK_CYCLES = 4.0
+SHORT_LINK_CYCLES = 1.0
+
+
+class Wire:
+    """Latency-only wire with flit accounting (see module docstring)."""
+
+    __slots__ = ("name", "latency", "flits")
+
+    def __init__(self, name: str, latency: float):
+        self.name = name
+        self.latency = latency
+        self.flits = 0.0
+
+    def traverse(self, now: float, flits: int) -> float:
+        self.flits += flits
+        return now + self.latency
+
+
+@dataclass
+class NoCInventory:
+    """Hardware census handed to the power/area model.
+
+    ``routers``/``links``/``wires`` carry ``(component, channel_bytes)`` or
+    ``(component, length_mm, channel_bytes)``; ``gated_routers`` lists the
+    routers that power-gate when the LLC runs in private mode (H-Xbar
+    MC-routers only).
+    """
+
+    routers: list[tuple[RouterModel, int]] = field(default_factory=list)
+    links: list[tuple[LatencyLink, float, int]] = field(default_factory=list)
+    wires: list[tuple[Wire, float, int]] = field(default_factory=list)
+    gated_routers: list[RouterModel] = field(default_factory=list)
+
+
+class BaseTopology(ABC):
+    """Common geometry bookkeeping for all crossbar topologies."""
+
+    def __init__(self, cfg: GPUConfig):
+        self.cfg = cfg
+        self.channel_bytes = cfg.noc.channel_bytes
+        self.line_bytes = cfg.line_bytes
+        self.num_sms = cfg.num_sms
+        self.num_clusters = cfg.num_clusters
+        self.sms_per_cluster = cfg.sms_per_cluster
+        self.num_mcs = cfg.num_memory_controllers
+        self.slices_per_mc = cfg.llc_slices_per_mc
+        self.num_slices = cfg.num_llc_slices
+        self.pipeline = cfg.noc.router_pipeline_stages
+        self.bypass = False
+
+    # -------------------------------------------------------------- sizes
+    def cluster_of(self, sm_id: int) -> int:
+        return sm_id // self.sms_per_cluster
+
+    def slice_global(self, mc_id: int, slice_local: int) -> int:
+        return mc_id * self.slices_per_mc + slice_local
+
+    def req_flits(self, is_write: bool) -> int:
+        return request_flits(is_write, self.line_bytes, self.channel_bytes)
+
+    def rep_flits(self, is_write: bool) -> int:
+        return reply_flits(is_write, self.line_bytes, self.channel_bytes)
+
+    # ----------------------------------------------------------- abstract
+    @abstractmethod
+    def request_arrival(self, now: float, sm_id: int, mc_id: int,
+                        slice_local: int, is_write: bool) -> float:
+        """Tail-flit arrival time of a request at the target LLC slice."""
+
+    @abstractmethod
+    def reply_arrival(self, now: float, mc_id: int, slice_local: int,
+                      sm_id: int, is_write: bool) -> float:
+        """Tail-flit arrival time of a reply back at the SM."""
+
+    @abstractmethod
+    def inventory(self) -> NoCInventory:
+        """Census of routers/links/wires for the power and area models."""
+
+    # ------------------------------------------------------------- bypass
+    def set_bypass(self, enabled: bool) -> None:
+        """Enable the private-LLC bypass.  Only the hierarchical crossbar
+        supports it; other topologies accept ``False`` only (the adaptive
+        LLC itself works on any NoC, but the power-gating co-design is
+        H-Xbar-specific)."""
+        if enabled:
+            raise ValueError(
+                f"{type(self).__name__} has no MC-router bypass; "
+                "use the hierarchical crossbar for NoC/LLC co-design"
+            )
+        self.bypass = False
+
+
+def make_topology(cfg: GPUConfig):
+    """Build the topology selected by ``cfg.noc.topology``."""
+    from repro.noc.concentrated_xbar import ConcentratedCrossbar
+    from repro.noc.full_xbar import FullCrossbar
+    from repro.noc.hierarchical_xbar import HierarchicalCrossbar
+
+    topo = cfg.noc.topology
+    if topo == "hxbar":
+        return HierarchicalCrossbar(cfg)
+    if topo == "full":
+        return FullCrossbar(cfg)
+    if topo == "cxbar":
+        return ConcentratedCrossbar(cfg)
+    raise ValueError(f"unknown topology {topo!r}")

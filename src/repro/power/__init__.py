@@ -1,0 +1,9 @@
+"""System-level (GPU + DRAM + NoC) energy modelling."""
+
+from repro.power.gpu_power import GPUPowerCoefficients, GPUPowerModel, SystemEnergyReport
+
+__all__ = [
+    "GPUPowerCoefficients",
+    "GPUPowerModel",
+    "SystemEnergyReport",
+]

@@ -1,0 +1,105 @@
+"""Event queue and simulation loop.
+
+Time is measured in GPU core cycles as a float (servers can hand out
+sub-cycle completion times when modelling fractional bandwidth), but events
+fire in strictly nondecreasing time order, with FIFO ordering among events
+scheduled for the same instant.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+
+class Event:
+    """A scheduled callback.  Cancel by calling :meth:`cancel`."""
+
+    __slots__ = ("time", "seq", "fn", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event as dead; it will be skipped when popped."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+
+class Engine:
+    """Discrete-event simulation engine.
+
+    Usage::
+
+        eng = Engine()
+        eng.schedule(10.0, lambda: print("fired at", eng.now))
+        eng.run(until=1000.0)
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._events_processed = 0
+
+    # ------------------------------------------------------------ schedule
+    def schedule(self, time: float, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` to run at absolute ``time`` (>= now)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        ev = Event(time, self._seq, fn)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def schedule_after(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        return self.schedule(self.now + delay, fn)
+
+    # ----------------------------------------------------------------- run
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Process events until the queue drains, ``until`` is reached, or
+        ``max_events`` have fired.  ``self.now`` advances to the time of the
+        last processed event (or ``until`` when the horizon cuts first)."""
+        heap = self._heap
+        processed = 0
+        while heap:
+            ev = heap[0]
+            if ev.cancelled:
+                heapq.heappop(heap)
+                continue
+            if until is not None and ev.time > until:
+                self.now = until
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            heapq.heappop(heap)
+            self.now = ev.time
+            ev.fn()
+            processed += 1
+        else:
+            if until is not None and until > self.now:
+                self.now = until
+        self._events_processed += processed
+
+    @property
+    def pending(self) -> int:
+        """Number of live events still queued."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def drained(self) -> bool:
+        """True when no live events remain."""
+        return self.pending == 0

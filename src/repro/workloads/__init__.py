@@ -1,0 +1,41 @@
+"""Synthetic GPU workloads reproducing the paper's benchmark suite (Table 2)."""
+
+from repro.workloads.trace import CTAStream, KernelTrace, Workload
+from repro.workloads.patterns import (
+    hot_region_stream,
+    interleave,
+    repeated_stream,
+    sequential_sweep,
+    strided_stream,
+    streaming_window,
+)
+from repro.workloads.generator import WorkloadSpec, generate_workload
+from repro.workloads.catalog import (
+    BENCHMARKS,
+    CATEGORIES,
+    benchmark,
+    benchmarks_in_category,
+    build,
+)
+from repro.workloads.multiprogram import MultiProgramWorkload, make_pair
+
+__all__ = [
+    "CTAStream",
+    "KernelTrace",
+    "Workload",
+    "hot_region_stream",
+    "interleave",
+    "repeated_stream",
+    "sequential_sweep",
+    "strided_stream",
+    "streaming_window",
+    "WorkloadSpec",
+    "generate_workload",
+    "BENCHMARKS",
+    "CATEGORIES",
+    "benchmark",
+    "benchmarks_in_category",
+    "build",
+    "MultiProgramWorkload",
+    "make_pair",
+]

@@ -1,0 +1,104 @@
+"""Workload characterization — validates that generated traces carry the
+properties their catalog category claims (the checks behind Table 2 and
+Figures 2/3).
+
+Useful both as a library (``characterize(workload)``) and for debugging new
+workload specs before running full simulations.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.workloads.trace import Workload
+
+LINE_BYTES = 128
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Static trace statistics for one workload."""
+
+    name: str
+    category: str
+    total_accesses: int
+    total_instructions: float
+    distinct_lines: int
+    footprint_mb: float
+    write_fraction: float
+    # Sharing structure
+    shared_lines: int              # lines touched by >= 2 CTAs
+    shared_line_fraction: float
+    shared_access_fraction: float  # accesses targeting shared lines
+    max_sharers: int               # most CTAs touching one line
+    # Reuse
+    accesses_per_line: float
+
+    def is_sharing_intensive(self) -> bool:
+        """Heuristic mirror of the paper's private-cache-friendly class."""
+        return self.shared_access_fraction > 0.5 and self.max_sharers >= 8
+
+
+def characterize(workload: Workload) -> WorkloadProfile:
+    """Single-pass trace analysis."""
+    line_touchers: dict[int, set[int]] = {}
+    line_accesses: Counter = Counter()
+    writes = 0
+    total = 0
+    for kernel in workload.kernels:
+        for cta in kernel.ctas:
+            for key, is_write in zip(cta.keys, cta.writes):
+                total += 1
+                writes += is_write
+                line_accesses[key] += 1
+                touchers = line_touchers.get(key)
+                if touchers is None:
+                    line_touchers[key] = {cta.cta_id}
+                else:
+                    touchers.add(cta.cta_id)
+
+    distinct = len(line_touchers)
+    shared_lines = sum(1 for t in line_touchers.values() if len(t) >= 2)
+    shared_keys = {k for k, t in line_touchers.items() if len(t) >= 2}
+    shared_accesses = sum(line_accesses[k] for k in shared_keys)
+    max_sharers = max((len(t) for t in line_touchers.values()), default=0)
+
+    return WorkloadProfile(
+        name=workload.name,
+        category=workload.category,
+        total_accesses=total,
+        total_instructions=workload.total_instructions,
+        distinct_lines=distinct,
+        footprint_mb=distinct * LINE_BYTES / (1024 * 1024),
+        write_fraction=writes / total if total else 0.0,
+        shared_lines=shared_lines,
+        shared_line_fraction=shared_lines / distinct if distinct else 0.0,
+        shared_access_fraction=shared_accesses / total if total else 0.0,
+        max_sharers=max_sharers,
+        accesses_per_line=total / distinct if distinct else 0.0,
+    )
+
+
+def verify_category(profile: WorkloadProfile) -> list[str]:
+    """Sanity rules per category; returns human-readable violations."""
+    problems = []
+    if profile.category == "private":
+        if profile.shared_access_fraction < 0.5:
+            problems.append(
+                f"{profile.name}: private-friendly but only "
+                f"{profile.shared_access_fraction:.0%} of accesses hit "
+                "shared lines")
+        if profile.max_sharers < 8:
+            problems.append(
+                f"{profile.name}: hot lines shared by only "
+                f"{profile.max_sharers} CTAs")
+    elif profile.category == "neutral":
+        if profile.shared_access_fraction > 0.3:
+            problems.append(
+                f"{profile.name}: neutral but "
+                f"{profile.shared_access_fraction:.0%} shared accesses")
+    if profile.write_fraction > 0.6:
+        problems.append(f"{profile.name}: implausible write fraction "
+                        f"{profile.write_fraction:.0%}")
+    return problems

@@ -1,0 +1,57 @@
+"""Multi-program co-execution (paper Section 6.3, Figures 9 and 15).
+
+Two applications share the GPU: within every cluster, half the SMs run
+program A and half run program B, which distributes both programs across all
+clusters (Figure 9's placement) so each can use the whole LLC.  Address
+spaces are disjoint via a line offset on the second program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.catalog import benchmark
+from repro.workloads.generator import generate_workload
+from repro.workloads.trace import Workload
+
+#: Line offset separating co-running address spaces (1 TB worth of lines).
+ADDRESS_SPACE_STRIDE = 1 << 33
+
+
+@dataclass
+class MultiProgramWorkload:
+    """A two-program mix plus its per-program placement rule."""
+
+    name: str
+    programs: tuple[Workload, Workload]
+
+    def program_of_sm(self, sm_id: int, sms_per_cluster: int) -> int:
+        """Figure 9 placement: the first half of every cluster runs program
+        0, the second half runs program 1."""
+        return 0 if (sm_id % sms_per_cluster) < sms_per_cluster // 2 else 1
+
+
+def make_pair(abbr_a: str, abbr_b: str, total_accesses: int = 40_000,
+              num_ctas: int = 160, max_kernels: int | None = 2) -> MultiProgramWorkload:
+    """Build a two-program workload from catalog abbreviations.
+
+    Each program keeps the full access budget: it runs on half the SMs but
+    its trace must still cover its natural footprint (halving the budget
+    would wreck each program's working-set reuse and turn the mix into a
+    pure DRAM-bandwidth fight).
+    """
+    per_program = max(1, total_accesses)
+    wa = generate_workload(benchmark(abbr_a), num_ctas=num_ctas // 2,
+                           total_accesses=per_program, max_kernels=max_kernels)
+    wb = generate_workload(benchmark(abbr_b), num_ctas=num_ctas // 2,
+                           total_accesses=per_program, max_kernels=max_kernels,
+                           address_offset=ADDRESS_SPACE_STRIDE)
+    return MultiProgramWorkload(name=f"{abbr_a}+{abbr_b}", programs=(wa, wb))
+
+
+def all_shared_private_pairs() -> list[tuple[str, str]]:
+    """Every (shared-friendly, private-friendly) combination — the 30 mixes
+    of Figure 15."""
+    from repro.workloads.catalog import CATEGORIES
+
+    return [(a, b) for a in CATEGORIES["shared"] for b in CATEGORIES["private"]]

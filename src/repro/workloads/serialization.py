@@ -1,0 +1,100 @@
+"""Trace serialization: save/load workloads as compressed JSON.
+
+Lets users snapshot generated traces (for exact cross-machine
+reproducibility regardless of Python hash/RNG evolution), or import traces
+produced by external tools — anything that can emit per-CTA line-address
+streams can drive the simulator.
+
+Format (gzip JSON): a header with catalog metadata plus, per kernel, the
+per-CTA key/write arrays.  Write flags are stored as index lists (writes
+are sparse).
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+
+from repro.workloads.trace import CTAStream, KernelTrace, Workload
+
+FORMAT_VERSION = 1
+
+
+def workload_to_dict(workload: Workload) -> dict:
+    """Plain-dict representation (JSON-ready)."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": workload.name,
+        "category": workload.category,
+        "shared_mb": workload.shared_mb,
+        "uses_atomics": workload.uses_atomics,
+        "kernels": [
+            {
+                "kernel_id": k.kernel_id,
+                "instrs_per_access": k.instrs_per_access,
+                "warps_per_cta": k.warps_per_cta,
+                "barrier_interval": k.barrier_interval,
+                "l1_bypass_lo": k.l1_bypass_lo,
+                "l1_bypass_hi": k.l1_bypass_hi,
+                "ctas": [
+                    {
+                        "cta_id": c.cta_id,
+                        "keys": c.keys,
+                        "write_indices": [i for i, w in enumerate(c.writes) if w],
+                    }
+                    for c in k.ctas
+                ],
+            }
+            for k in workload.kernels
+        ],
+    }
+
+
+def workload_from_dict(data: dict) -> Workload:
+    """Inverse of :func:`workload_to_dict` with format validation."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version {version!r}")
+    kernels = []
+    for k in data["kernels"]:
+        ctas = []
+        for c in k["ctas"]:
+            keys = list(c["keys"])
+            writes = [False] * len(keys)
+            for idx in c["write_indices"]:
+                if not 0 <= idx < len(keys):
+                    raise ValueError(f"write index {idx} out of range")
+                writes[idx] = True
+            ctas.append(CTAStream(cta_id=c["cta_id"], keys=keys,
+                                  writes=writes))
+        kernels.append(KernelTrace(
+            kernel_id=k["kernel_id"],
+            ctas=ctas,
+            instrs_per_access=k["instrs_per_access"],
+            warps_per_cta=k["warps_per_cta"],
+            barrier_interval=k.get("barrier_interval", 0),
+            l1_bypass_lo=k.get("l1_bypass_lo", 0),
+            l1_bypass_hi=k.get("l1_bypass_hi", 0),
+        ))
+    return Workload(
+        name=data["name"],
+        kernels=kernels,
+        category=data.get("category", "neutral"),
+        shared_mb=data.get("shared_mb", 0.0),
+        uses_atomics=data.get("uses_atomics", False),
+    )
+
+
+def save_workload(workload: Workload, path: str | Path) -> None:
+    """Write a gzip-compressed JSON trace file."""
+    payload = json.dumps(workload_to_dict(workload),
+                         separators=(",", ":")).encode()
+    with gzip.open(path, "wb") as fh:
+        fh.write(payload)
+
+
+def load_workload(path: str | Path) -> Workload:
+    """Read a trace file written by :func:`save_workload`."""
+    with gzip.open(path, "rb") as fh:
+        return workload_from_dict(json.loads(fh.read()))

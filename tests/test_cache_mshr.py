@@ -1,0 +1,84 @@
+"""Tests for the MSHR file."""
+
+import pytest
+
+from repro.cache.mshr import MSHRFile
+
+
+def test_allocate_and_release():
+    m = MSHRFile(4)
+    entry = m.allocate(0x100, now=5.0)
+    assert entry is not None
+    assert entry.issue_time == 5.0
+    assert m.outstanding == 1
+    waiters = m.release(0x100)
+    assert waiters == []
+    assert m.outstanding == 0
+
+
+def test_full_returns_none_and_counts_stall():
+    m = MSHRFile(2)
+    assert m.allocate(1, 0.0) is not None
+    assert m.allocate(2, 0.0) is not None
+    assert m.full
+    assert m.allocate(3, 0.0) is None
+    assert m.stalls == 1
+
+
+def test_merge_attaches_waiters():
+    m = MSHRFile(2)
+    m.allocate(7, 0.0)
+    m.merge(7, waiter="warp-a")
+    m.merge(7, waiter="warp-b")
+    m.merge(7)  # merge without waiter payload
+    assert m.merges == 3
+    assert m.outstanding == 1
+    assert m.release(7) == ["warp-a", "warp-b"]
+
+
+def test_double_allocate_same_key_raises():
+    m = MSHRFile(2)
+    m.allocate(7, 0.0)
+    with pytest.raises(KeyError):
+        m.allocate(7, 1.0)
+
+
+def test_merge_unknown_key_raises():
+    m = MSHRFile(2)
+    with pytest.raises(KeyError):
+        m.merge(42)
+
+
+def test_release_unknown_key_raises():
+    m = MSHRFile(2)
+    with pytest.raises(KeyError):
+        m.release(42)
+
+
+def test_lookup():
+    m = MSHRFile(2)
+    assert m.lookup(9) is None
+    m.allocate(9, 0.0)
+    assert m.lookup(9) is not None
+
+
+def test_clear():
+    m = MSHRFile(1)
+    m.allocate(1, 0.0)
+    m.clear()
+    assert m.outstanding == 0
+    assert not m.full
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        MSHRFile(0)
+
+
+def test_release_frees_capacity():
+    m = MSHRFile(1)
+    m.allocate(1, 0.0)
+    assert m.allocate(2, 0.0) is None
+    m.release(1)
+    assert m.allocate(2, 0.0) is not None
+    assert m.allocations == 2

@@ -1,0 +1,287 @@
+"""Tests for the adaptive controller, reconfigurator, sampler, and metrics."""
+
+import pytest
+
+from repro.config import AdaptiveConfig, GPUConfig
+from repro.core.controller import AdaptiveController
+from repro.core.modes import LLCMode
+from repro.core.reconfig import Reconfigurator
+from repro.core.sampler import ProfileReport, ProfilingState
+from repro.cache.llc_slice import LLCSlice
+from repro.mem.address_map import PAEMapping
+from repro.mem.controller import MemoryController
+from repro.metrics.locality import InterClusterLocalityTracker
+from repro.metrics.perf import (
+    normalized_performance,
+    speedup_summary,
+    system_throughput,
+)
+from repro.sim.engine import Engine
+
+
+def cfg_small():
+    return GPUConfig.baseline().replace(
+        adaptive=AdaptiveConfig(epoch_cycles=10_000, profile_cycles=500,
+                                atd_sampled_sets=48))
+
+
+class FakeSystem:
+    """Minimal duck-typed system for reconfigurator/controller tests."""
+
+    def __init__(self, cfg):
+        self.llc_slices = [
+            LLCSlice(i, num_sets=cfg.llc_sets_per_slice, assoc=cfg.llc_assoc,
+                     index_shift=0, line_flits=4, latency=120.0)
+            for i in range(4)
+        ]
+        mapping = PAEMapping(8, 8, 16)
+        self.mcs = [MemoryController(m, cfg, mapping) for m in range(2)]
+        self.topology = None
+        self.allow_bypass = False
+
+
+# ------------------------------------------------------------ reconfigure
+def test_transition_to_private_cleans_and_sets_write_through():
+    cfg = cfg_small()
+    sys_ = FakeSystem(cfg)
+    sys_.llc_slices[0].access(0.0, 1, is_write=True)  # dirty line
+    rec = Reconfigurator(cfg.adaptive)
+    cost = rec.transition(sys_, 100.0, LLCMode.PRIVATE)
+    assert cost.dirty_lines_written == 1
+    assert all(sl.write_through for sl in sys_.llc_slices)
+    # Contents kept on shared->private.
+    assert sys_.llc_slices[0].store.occupancy() == 1
+    assert cost.stall_cycles >= cfg.adaptive.drain_cycles
+
+
+def test_transition_to_shared_flushes_everything():
+    cfg = cfg_small()
+    sys_ = FakeSystem(cfg)
+    for sl in sys_.llc_slices:
+        sl.set_write_policy(True)
+        sl.access(0.0, 1, is_write=False)
+    rec = Reconfigurator(cfg.adaptive)
+    cost = rec.transition(sys_, 100.0, LLCMode.SHARED)
+    assert cost.lines_invalidated == 4
+    assert all(not sl.write_through for sl in sys_.llc_slices)
+    assert all(sl.store.occupancy() == 0 for sl in sys_.llc_slices)
+
+
+def test_transition_accounts_dram_writeback_traffic():
+    cfg = cfg_small()
+    sys_ = FakeSystem(cfg)
+    for sl in sys_.llc_slices:
+        sl.access(0.0, 1, is_write=True)
+        sl.access(0.0, 2, is_write=True)
+    rec = Reconfigurator(cfg.adaptive)
+    before = sum(mc.write_requests for mc in sys_.mcs)
+    cost = rec.transition(sys_, 0.0, LLCMode.PRIVATE)
+    after = sum(mc.write_requests for mc in sys_.mcs)
+    assert cost.dirty_lines_written == 8
+    assert after - before == 8
+
+
+def test_reconfigurator_counts_transitions_and_stalls():
+    cfg = cfg_small()
+    sys_ = FakeSystem(cfg)
+    rec = Reconfigurator(cfg.adaptive)
+    rec.transition(sys_, 0.0, LLCMode.PRIVATE)
+    rec.transition(sys_, 100.0, LLCMode.SHARED)
+    assert rec.transitions == 2
+    assert rec.total_stall_cycles > 0
+
+
+# ---------------------------------------------------------------- sampler
+def test_profiler_measures_shared_miss_rate():
+    p = ProfilingState(cfg_small())
+    p.start()
+    p.observe_request(1, cluster_id=2, mc_id=1, slice_global=9, hit=True)
+    p.observe_request(2, cluster_id=2, mc_id=1, slice_global=9, hit=False)
+    report = p.stop()
+    assert report.shared_miss_rate == pytest.approx(0.5)
+
+
+def test_profiler_shadow_private_slice_estimate():
+    p = ProfilingState(cfg_small())
+    p.start()
+    # Cluster 0 -> MC 0 traffic feeds the shadow slice; a recurrence hits.
+    p.observe_request(7, 0, 0, 0, hit=False)
+    p.observe_request(7, 0, 0, 0, hit=False)
+    # Other clusters' traffic does not touch the ATD.
+    p.observe_request(7, 3, 0, 24, hit=True)
+    report = p.stop()
+    assert p.atd.sampled_accesses == 2
+    assert report.private_miss_rate == pytest.approx(0.5)
+
+
+def test_profiler_lsp_scaling():
+    cfg = cfg_small()
+    p = ProfilingState(cfg)
+    p.start()
+    # Cluster 0 spreads requests evenly over all 8 MCs.
+    for mc in range(8):
+        p.observe_request(mc * 1000, 0, mc, mc * 8, hit=True)
+    report = p.stop()
+    assert report.private_lsp == pytest.approx(64.0)  # 8 x 8 clusters
+
+
+def test_profiler_inactive_ignores_observations():
+    p = ProfilingState(cfg_small())
+    p.observe_request(1, 0, 0, 0, hit=True)
+    assert p.shared_accesses == 0
+
+
+def test_profiler_report_usable_threshold():
+    assert not ProfileReport(10, 0.1, 0.1, 1, 1).usable
+    assert ProfileReport(16, 0.1, 0.1, 1, 1).usable
+
+
+def test_profiler_hardware_budget():
+    cfg = GPUConfig.baseline()  # paper config: 8 sampled sets
+    p = ProfilingState(cfg)
+    assert p.hardware_bytes() <= 1024
+
+
+# ------------------------------------------------------------- controller
+def make_controller(engine, system, cfg=None, **kw):
+    cfg = cfg or cfg_small()
+    return AdaptiveController(cfg, engine, system, **kw)
+
+
+def test_controller_starts_shared_and_profiles():
+    eng = Engine()
+    ctrl = make_controller(eng, FakeSystem(cfg_small()))
+    ctrl.start(0.0)
+    assert ctrl.mode is LLCMode.SHARED
+    assert ctrl.profiler.active
+
+
+def test_controller_rule1_transition_and_epoch_revert():
+    cfg = cfg_small()
+    eng = Engine()
+    sys_ = FakeSystem(cfg)
+    events = []
+    ctrl = make_controller(eng, sys_, cfg,
+                           on_transition=lambda t, m, c: events.append((t, m)))
+    ctrl.start(0.0)
+    # Feed equal-ish miss-rate evidence: lots of same-line cluster-0 hits.
+    for i in range(40):
+        ctrl.profiler.observe_request(5, 0, 0, 0, hit=(i > 0))
+    eng.run(until=600.0)   # profile phase ends at 500
+    assert ctrl.mode is LLCMode.PRIVATE
+    assert events and events[0][1] is LLCMode.PRIVATE
+    # At the next epoch boundary the LLC reverts to shared (Rule #3).
+    eng.run(until=10_500.0)
+    assert any(m is LLCMode.SHARED for _, m in events[1:])
+    ctrl.shutdown()
+
+
+def test_controller_unusable_profile_stays_shared():
+    eng = Engine()
+    ctrl = make_controller(eng, FakeSystem(cfg_small()))
+    ctrl.start(0.0)
+    eng.run(until=600.0)   # no observations at all
+    assert ctrl.mode is LLCMode.SHARED
+    ctrl.shutdown()
+
+
+def test_controller_force_shared_for_atomics():
+    eng = Engine()
+    ctrl = make_controller(eng, FakeSystem(cfg_small()), force_shared=True)
+    ctrl.start(0.0)
+    for i in range(40):
+        ctrl.profiler.observe_request(5, 0, 0, 0, hit=(i > 0))
+    eng.run(until=600.0)
+    assert ctrl.mode is LLCMode.SHARED
+    ctrl.shutdown()
+
+
+def test_controller_kernel_launch_reverts_and_reprofiles():
+    cfg = cfg_small()
+    eng = Engine()
+    ctrl = make_controller(eng, FakeSystem(cfg), cfg)
+    ctrl.start(0.0)
+    ctrl.mode = LLCMode.PRIVATE  # pretend a transition happened
+    eng.run(until=100.0)
+    ctrl.on_kernel_launch(100.0)
+    assert ctrl.mode is LLCMode.SHARED
+    assert ctrl.profiler.active
+    ctrl.shutdown()
+
+
+def test_controller_shutdown_cancels_events():
+    eng = Engine()
+    ctrl = make_controller(eng, FakeSystem(cfg_small()))
+    ctrl.start(0.0)
+    ctrl.shutdown()
+    eng.run()
+    assert eng.drained()
+
+
+def test_time_in_private_accounting():
+    eng = Engine()
+    ctrl = make_controller(eng, FakeSystem(cfg_small()))
+    ctrl.mode_history = [(0.0, LLCMode.SHARED, "start"),
+                         (100.0, LLCMode.PRIVATE, "rule1"),
+                         (400.0, LLCMode.SHARED, "rule3_epoch")]
+    assert ctrl.time_in_private(1000.0) == pytest.approx(300.0)
+    ctrl.mode_history.append((900.0, LLCMode.PRIVATE, "rule2"))
+    assert ctrl.time_in_private(1000.0) == pytest.approx(400.0)
+
+
+# ---------------------------------------------------------------- metrics
+def test_locality_tracker_buckets():
+    t = InterClusterLocalityTracker(window_cycles=100.0)
+    t.note(1, 0, 10.0)
+    t.note(1, 1, 20.0)          # line 1: 2 clusters
+    t.note(2, 3, 30.0)          # line 2: 1 cluster
+    t.note(3, 0, 40.0)
+    for c in range(5):
+        t.note(3, c, 50.0)      # line 3: 5 clusters
+    t.finalize()
+    assert t.bucket_counts == [1, 1, 0, 1]
+    assert t.shared_fraction() == pytest.approx(2 / 3)
+
+
+def test_locality_tracker_windows_reset():
+    t = InterClusterLocalityTracker(window_cycles=100.0)
+    t.note(1, 0, 10.0)
+    t.note(1, 1, 150.0)   # new window: line 1 seen by one cluster each time
+    t.finalize()
+    assert t.bucket_counts[0] == 2
+    assert t.shared_fraction() == 0.0
+
+
+def test_locality_tracker_weighted_mode():
+    t = InterClusterLocalityTracker(window_cycles=100.0, weighted=True)
+    for _ in range(9):
+        t.note(1, 0, 10.0)      # hot line, single cluster so far
+    t.note(1, 1, 20.0)          # touched by a second cluster: 10 accesses
+    t.note(2, 0, 30.0)          # cold line: 1 access
+    t.finalize()
+    assert t.bucket_counts == [1, 10, 0, 0]
+    assert t.shared_fraction() == pytest.approx(10 / 11)
+
+
+def test_locality_tracker_validation():
+    with pytest.raises(ValueError):
+        InterClusterLocalityTracker(0)
+    t = InterClusterLocalityTracker(10)
+    t.finalize()
+    t.finalize()  # idempotent
+    with pytest.raises(RuntimeError):
+        t.note(1, 0, 5.0)
+    assert t.fractions() == [0.0, 0.0, 0.0, 0.0]
+
+
+def test_perf_metrics():
+    assert normalized_performance(120.0, 100.0) == pytest.approx(1.2)
+    with pytest.raises(ValueError):
+        normalized_performance(1.0, 0.0)
+    assert system_throughput([5.0, 5.0], [10.0, 10.0]) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        system_throughput([1.0], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        system_throughput([1.0], [0.0])
+    out = speedup_summary({"A": 1.0, "B": 2.0})
+    assert out["HM"] == pytest.approx(4.0 / 3.0)

@@ -1,0 +1,80 @@
+"""Tests for CTA scheduling policies."""
+
+import pytest
+
+from repro.gpu.cta import assign_ctas
+
+
+def flat(per_sm):
+    return sorted(c for lst in per_sm for c in lst)
+
+
+def test_all_ctas_assigned_exactly_once():
+    for policy in ("two_level_rr", "bcs", "dcs"):
+        per_sm = assign_ctas(policy, num_ctas=160, num_sms=80,
+                             sms_per_cluster=10)
+        assert flat(per_sm) == list(range(160))
+
+
+def test_two_level_rr_spreads_over_clusters():
+    per_sm = assign_ctas("two_level_rr", 8, 80, 10)
+    # First 8 CTAs land in 8 different clusters.
+    clusters = {sm // 10 for sm, lst in enumerate(per_sm) if lst}
+    assert clusters == set(range(8))
+
+
+def test_two_level_rr_balances_within_cluster():
+    per_sm = assign_ctas("two_level_rr", 160, 80, 10)
+    assert all(len(lst) == 2 for lst in per_sm)
+
+
+def test_bcs_pairs_adjacent_ctas():
+    per_sm = assign_ctas("bcs", 8, 80, 10)
+    assert per_sm[0] == [0, 1]
+    assert per_sm[1] == [2, 3]
+
+
+def test_dcs_contiguous_ranges_per_cluster():
+    per_sm = assign_ctas("dcs", 80, 80, 10)
+    # CTAs 0-9 should all live in cluster 0.
+    cluster_of_cta = {}
+    for sm, lst in enumerate(per_sm):
+        for cta in lst:
+            cluster_of_cta[cta] = sm // 10
+    assert all(cluster_of_cta[c] == 0 for c in range(10))
+    assert all(cluster_of_cta[c] == 7 for c in range(70, 80))
+
+
+def test_whitelist_restricts_placement():
+    allowed = [0, 1, 2, 3, 4]  # half of cluster 0
+    per_sm = assign_ctas("two_level_rr", 10, 80, 10, sm_whitelist=allowed)
+    for sm, lst in enumerate(per_sm):
+        if lst:
+            assert sm in allowed
+    assert flat(per_sm) == list(range(10))
+
+
+def test_whitelist_split_clusters_multiprogram():
+    """Figure 9 placement: each program gets half of every cluster."""
+    allowed = [s for s in range(80) if (s % 10) < 5]
+    per_sm = assign_ctas("two_level_rr", 80, 80, 10, sm_whitelist=allowed)
+    used_clusters = {sm // 10 for sm, lst in enumerate(per_sm) if lst}
+    assert used_clusters == set(range(8))
+
+
+def test_zero_ctas():
+    per_sm = assign_ctas("two_level_rr", 0, 80, 10)
+    assert flat(per_sm) == []
+    per_sm = assign_ctas("dcs", 0, 80, 10)
+    assert flat(per_sm) == []
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        assign_ctas("bogus", 8, 80, 10)
+    with pytest.raises(ValueError):
+        assign_ctas("bcs", -1, 80, 10)
+    with pytest.raises(ValueError):
+        assign_ctas("bcs", 8, 80, 7)  # 80 % 7 != 0
+    with pytest.raises(ValueError):
+        assign_ctas("bcs", 8, 80, 10, sm_whitelist=[])

@@ -1,0 +1,178 @@
+"""Integration tests for the assembled GPU system."""
+
+import pytest
+
+from repro.config import AdaptiveConfig, GPUConfig
+from repro.gpu.system import GPUSystem
+from repro.workloads.catalog import build
+from repro.workloads.generator import WorkloadSpec, generate_workload
+from repro.workloads.multiprogram import make_pair
+
+
+def small_cfg(**kw):
+    cfg = GPUConfig.baseline().replace(
+        adaptive=AdaptiveConfig(epoch_cycles=20_000, profile_cycles=800,
+                                atd_sampled_sets=48, miss_rate_margin=0.05))
+    return cfg.replace(**kw) if kw else cfg
+
+
+def run(abbr="VA", mode="shared", n=4000, kernels=1, **cfg_kw):
+    cfg = small_cfg(**cfg_kw)
+    w = build(abbr, total_accesses=n, num_ctas=160, max_kernels=kernels)
+    return GPUSystem(cfg, w, mode=mode).run()
+
+
+def test_run_completes_and_reports():
+    r = run("VA", "shared")
+    assert r.cycles > 0
+    assert r.instructions > 0
+    assert r.ipc > 0
+    assert 0.0 <= r.llc_miss_rate <= 1.0
+    assert 0.0 <= r.l1_miss_rate <= 1.0
+    assert r.dram_reads > 0
+    assert r.mode == "shared"
+
+
+def test_instructions_match_workload():
+    cfg = small_cfg()
+    w = build("HG", total_accesses=4000, num_ctas=160, max_kernels=1)
+    r = GPUSystem(cfg, w, mode="shared").run()
+    assert r.instructions == pytest.approx(w.total_instructions)
+
+
+def test_deterministic_replay():
+    r1 = run("GEMM", "shared", n=3000)
+    r2 = run("GEMM", "shared", n=3000)
+    assert r1.cycles == r2.cycles
+    assert r1.llc_accesses == r2.llc_accesses
+
+
+@pytest.mark.parametrize("mode", ["shared", "private", "adaptive"])
+def test_all_modes_complete(mode):
+    r = run("SN", mode, n=4000)
+    assert r.cycles > 0
+
+
+def test_private_mode_gates_hxbar_from_start():
+    cfg = small_cfg()
+    w = build("VA", total_accesses=2000, num_ctas=80, max_kernels=1)
+    s = GPUSystem(cfg, w, mode="private")
+    r = s.run()
+    assert r.gated_cycles == pytest.approx(r.cycles)
+    assert r.time_in_private == pytest.approx(r.cycles)
+    # The MC-routers never forwarded a packet.
+    assert all(rt.packets == 0 for rt in s.topology.req_mc_routers)
+
+
+def test_shared_mode_never_gates():
+    r = run("VA", "shared", n=2000)
+    assert r.gated_cycles == 0.0
+    assert r.transitions == 0
+
+
+def test_multi_kernel_sequences_run():
+    r = run("AN", "shared", n=6000, kernels=3)
+    assert r.cycles > 0
+
+
+def test_invalid_mode_rejected():
+    cfg = small_cfg()
+    w = build("VA", total_accesses=1000, num_ctas=80)
+    with pytest.raises(ValueError):
+        GPUSystem(cfg, w, mode="magic")
+    with pytest.raises(TypeError):
+        GPUSystem(cfg, "not a workload", mode="shared")
+
+
+def test_locality_collection():
+    cfg = small_cfg()
+    w = build("SN", total_accesses=4000, num_ctas=160, max_kernels=1)
+    r = GPUSystem(cfg, w, mode="shared", collect_locality=True).run()
+    assert r.locality_fractions is not None
+    assert sum(r.locality_fractions) == pytest.approx(1.0)
+
+
+def test_private_friendly_beats_shared_under_private():
+    """End-to-end reproduction of the paper's core claim at small scale."""
+    shared = run("SN", "shared", n=30_000)
+    private = run("SN", "private", n=30_000)
+    assert private.ipc > shared.ipc * 1.05
+    assert private.llc_response_rate > shared.llc_response_rate
+
+
+def test_shared_friendly_hurt_by_private():
+    shared = run("GEMM", "shared", n=30_000)
+    private = run("GEMM", "private", n=30_000)
+    assert private.ipc < shared.ipc * 0.95
+    assert private.llc_miss_rate > shared.llc_miss_rate + 0.1
+
+
+def test_adaptive_keeps_shared_friendly_safe():
+    shared = run("GEMM", "shared", n=30_000)
+    adaptive = run("GEMM", "adaptive", n=30_000)
+    assert adaptive.ipc >= shared.ipc * 0.9
+
+
+def test_adaptive_gains_on_private_friendly():
+    shared = run("RN", "shared", n=30_000)
+    adaptive = run("RN", "adaptive", n=30_000)
+    assert adaptive.ipc > shared.ipc * 1.03
+    assert adaptive.transitions >= 1
+    assert adaptive.time_in_private > 0
+
+
+def test_adaptive_records_history_and_decisions():
+    r = run("RN", "adaptive", n=20_000)
+    assert r.mode_history
+    assert r.decisions
+    rules = {d[1].rule for d in r.decisions}
+    assert rules & {"rule1", "rule2", "stay_shared"}
+
+
+def test_write_through_inflates_dram_writes():
+    shared = run("VA", "shared", n=20_000)
+    private = run("VA", "private", n=20_000)
+    assert private.dram_writes > shared.dram_writes
+
+
+def test_multiprogram_run_and_stats():
+    cfg = small_cfg()
+    mp = make_pair("GEMM", "AN", total_accesses=8000, num_ctas=160,
+                   max_kernels=1)
+    r = GPUSystem(cfg, mp, mode="adaptive").run()
+    assert len(r.programs) == 2
+    names = {p.name for p in r.programs}
+    assert names == {"GEMM", "AN"}
+    assert all(p.ipc > 0 for p in r.programs)
+
+
+def test_multiprogram_mixed_modes_do_not_gate():
+    """A shared-friendly + private-friendly pair cannot bypass (Fig 9)."""
+    cfg = small_cfg()
+    mp = make_pair("GEMM", "RN", total_accesses=16_000, num_ctas=160,
+                   max_kernels=1)
+    s = GPUSystem(cfg, mp, mode="adaptive")
+    r = s.run()
+    modes = {p.workload.name: p.mode.value for p in s.programs}
+    if modes["GEMM"] == "shared" and modes["RN"] == "private":
+        assert r.gated_cycles < r.cycles * 0.5
+
+
+def test_atomics_workload_pinned_shared_under_adaptive():
+    cfg = small_cfg()
+    spec = WorkloadSpec("atomic app", "AT", "private", shared_mb=0.2,
+                        num_kernels=1, shared_frac=0.9, hot_mb=0.1,
+                        l1_bypass_shared=True, barrier_interval=2,
+                        uses_atomics=True)
+    w = generate_workload(spec, num_ctas=80, total_accesses=5000)
+    r = GPUSystem(cfg, w, mode="adaptive").run()
+    assert r.time_in_private == 0.0
+    assert r.transitions == 0
+
+
+def test_reconfiguration_stalls_accounted():
+    r = run("RN", "adaptive", n=30_000)
+    if r.transitions:
+        assert r.stall_cycles > 0
+        # Paper: a couple hundred to a couple thousand cycles each.
+        assert r.stall_cycles / r.transitions < 10_000

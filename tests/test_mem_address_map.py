@@ -1,0 +1,86 @@
+"""Tests for PAE and Hynix address mappings."""
+
+import collections
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.address_map import HynixMapping, PAEMapping, make_mapping
+
+
+def pae():
+    return PAEMapping(num_mcs=8, slices_per_mc=8, num_banks=16)
+
+
+def hynix():
+    return HynixMapping(num_mcs=8, slices_per_mc=8, num_banks=16)
+
+
+def test_factory():
+    assert isinstance(make_mapping("pae", 8, 8, 16), PAEMapping)
+    assert isinstance(make_mapping("hynix", 8, 8, 16), HynixMapping)
+    with pytest.raises(ValueError):
+        make_mapping("interleave", 8, 8, 16)
+    with pytest.raises(ValueError):
+        make_mapping("pae", 0, 8, 16)
+
+
+@pytest.mark.parametrize("mapping", [pae(), hynix()])
+def test_outputs_in_range(mapping):
+    for key in range(0, 100000, 37):
+        assert 0 <= mapping.mc_of(key) < 8
+        assert 0 <= mapping.slice_of(key) < 8
+        assert 0 <= mapping.bank_of(key) < 16
+
+
+@pytest.mark.parametrize("mapping", [pae(), hynix()])
+def test_deterministic(mapping):
+    assert mapping.mc_of(12345) == mapping.mc_of(12345)
+    assert mapping.slice_of(12345) == mapping.slice_of(12345)
+
+
+def _mc_balance(mapping, keys):
+    counts = collections.Counter(mapping.mc_of(k) for k in keys)
+    return max(counts.values()) / (len(keys) / 8)
+
+
+def test_pae_balances_sequential_stream():
+    """PAE footnote: uniform distribution across LLC slices/controllers."""
+    keys = list(range(4096))
+    assert _mc_balance(pae(), keys) < 1.3
+
+
+def test_pae_balances_strided_stream():
+    keys = [i * 64 for i in range(4096)]
+    assert _mc_balance(pae(), keys) < 1.3
+
+
+def test_hynix_imbalanced_on_strided_stream():
+    """A stride of num_mcs rows pins the whole stream to one controller."""
+    from repro.mem.address_map import ROW_LINES
+
+    keys = [i * 8 * ROW_LINES for i in range(4096)]
+    assert _mc_balance(hynix(), keys) == pytest.approx(8.0)
+
+
+def test_hynix_balanced_on_sequential_stream():
+    keys = list(range(4096))
+    assert _mc_balance(hynix(), keys) == pytest.approx(1.0)
+
+
+def test_pae_slice_decorrelated_from_mc():
+    """Lines in one MC partition must still spread over that MC's slices."""
+    m = pae()
+    keys = [k for k in range(40000) if m.mc_of(k) == 3]
+    counts = collections.Counter(m.slice_of(k) for k in keys)
+    assert len(counts) == 8
+    assert max(counts.values()) / (len(keys) / 8) < 1.4
+
+
+@settings(max_examples=200)
+@given(st.integers(0, 2**40))
+def test_pae_total_function(key):
+    m = pae()
+    assert 0 <= m.mc_of(key) < 8
+    assert 0 <= m.slice_of(key) < 8
+    assert 0 <= m.bank_of(key) < 16

@@ -1,0 +1,130 @@
+"""Tests for the DRAM bank/channel timing model and memory controller."""
+
+import pytest
+
+from repro.config import DRAMTiming, GPUConfig
+from repro.mem.address_map import PAEMapping
+from repro.mem.controller import MemoryController
+from repro.mem.dram import DRAMBank, DRAMChannel
+
+
+def timing():
+    return DRAMTiming()
+
+
+def channel(**kw):
+    defaults = dict(name="mc0", timing=timing(), num_banks=16,
+                    bytes_per_cycle=80.0, line_bytes=128)
+    defaults.update(kw)
+    return DRAMChannel(**defaults)
+
+
+# ------------------------------------------------------------------- bank
+def test_bank_first_access_is_row_miss():
+    b = DRAMBank(timing())
+    ready = b.access(0.0, row=5, is_write=False)
+    # precharge + activate (no prior activate constrains tRC at t=0)
+    assert ready == pytest.approx(12 + 12)
+    assert b.row_misses == 1
+
+
+def test_bank_row_hit_is_cheap():
+    b = DRAMBank(timing())
+    t1 = b.access(0.0, 5, False)
+    t2 = b.access(t1, 5, False)
+    assert t2 - t1 == pytest.approx(timing().tCCD)
+    assert b.row_hits == 1
+
+
+def test_bank_row_conflict_pays_trc_spacing():
+    b = DRAMBank(timing())
+    b.access(0.0, 1, False)       # activate at 0
+    t = b.access(0.1, 2, False)   # conflict: next activate >= tRC
+    assert t >= timing().tRC
+
+
+def test_bank_write_adds_write_recovery():
+    b = DRAMBank(timing())
+    read_ready = DRAMBank(timing()).access(0.0, 1, False)
+    write_ready = b.access(0.0, 1, True)
+    assert write_ready > read_ready
+
+
+def test_bank_serializes_busy_time():
+    b = DRAMBank(timing())
+    t1 = b.access(0.0, 1, False)
+    t2 = b.access(0.0, 1, False)   # arrives while busy
+    assert t2 > t1
+
+
+# ---------------------------------------------------------------- channel
+def test_channel_read_latency_includes_tcl():
+    ch = channel()
+    done = ch.access(0.0, line_key=0, bank=0, is_write=False)
+    # row miss (24) + bus transfer (1.6) + tCL (12)
+    assert done == pytest.approx(24 + 128 / 80.0 + 12)
+
+
+def test_channel_bus_serializes_across_banks():
+    """Row hits in different banks still share one data bus."""
+    ch = channel(num_banks=4, bytes_per_cycle=8.0)  # 16-cycle transfers
+    for bank in range(4):
+        ch.access(0.0, 0, bank, False)  # warm rows
+    start = 200.0
+    times = [ch.access(start, 0, bank, False) for bank in range(4)]
+    deltas = [t2 - t1 for t1, t2 in zip(times, times[1:])]
+    assert all(d == pytest.approx(16.0) for d in deltas)
+
+
+def test_channel_row_of_groups_consecutive_lines():
+    ch = channel()
+    assert ch.row_of(0, 0) == ch.row_of(15, 0)      # 2KB row = 16 lines
+    assert ch.row_of(0, 0) != ch.row_of(16, 0)
+
+
+def test_channel_stats():
+    ch = channel()
+    ch.access(0.0, 0, 0, False)
+    ch.access(0.0, 1, 0, False)
+    ch.access(0.0, 2, 0, True)
+    assert ch.reads == 2 and ch.writes == 1
+    assert ch.bytes_transferred() == 3 * 128
+    assert 0.0 < ch.row_hit_rate <= 1.0
+    assert ch.utilization(1000.0) > 0
+
+
+def test_channel_validation():
+    with pytest.raises(ValueError):
+        channel(num_banks=0)
+    with pytest.raises(ValueError):
+        channel(bytes_per_cycle=0)
+    with pytest.raises(ValueError):
+        channel(row_bytes=64)
+    with pytest.raises(IndexError):
+        channel().access(0.0, 0, 99, False)
+
+
+def test_channel_sustained_bandwidth_bounded_by_bus():
+    """Pushing many row hits cannot exceed the bus's bytes/cycle."""
+    ch = channel(num_banks=16, bytes_per_cycle=80.0)
+    last = 0.0
+    n = 200
+    for i in range(n):
+        last = max(last, ch.access(0.0, i % 16, i % 16, False))
+    achieved = n * 128 / last
+    assert achieved <= 80.0 + 1e-6
+
+
+# ------------------------------------------------------------- controller
+def test_controller_read_write_roundtrip():
+    cfg = GPUConfig.baseline()
+    mapping = PAEMapping(8, 8, 16)
+    mc = MemoryController(0, cfg, mapping)
+    t = mc.read(0.0, 1234)
+    assert t > 0
+    mc.write(0.0, 1234)
+    assert mc.read_requests == 1
+    assert mc.write_requests == 1
+    assert mc.total_requests == 2
+    assert mc.bytes_transferred() == 2 * 128
+    assert 0 <= mc.row_hit_rate() <= 1

@@ -1,0 +1,71 @@
+"""Tests for the 2D mesh ablation topology."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.noc.mesh import MeshNoC
+from repro.noc import NoCPowerModel, make_topology
+
+
+def mesh():
+    return MeshNoC(GPUConfig.baseline())
+
+
+def test_geometry():
+    m = mesh()
+    assert m.rows == 8
+    assert m.cols == m.sm_cols + m.mc_cols
+    assert m.sms_per_node * m.rows * m.sm_cols == 80
+    assert m.slices_per_node * m.rows * m.mc_cols == 64
+
+
+def test_request_and_reply_progress():
+    m = mesh()
+    arr = m.request_arrival(0.0, sm_id=0, mc_id=7, slice_local=7,
+                            is_write=False)
+    assert arr > 0
+    back = m.reply_arrival(arr, 7, 7, 0, is_write=False)
+    assert back > arr
+
+
+def test_xy_routing_hop_count_scales_with_distance():
+    m = mesh()
+    near = m.request_arrival(0.0, sm_id=0, mc_id=0, slice_local=0, is_write=False)
+    m2 = mesh()
+    far = m2.request_arrival(0.0, sm_id=0, mc_id=7, slice_local=7, is_write=False)
+    assert far > near  # more hops = more latency
+
+
+def test_mesh_latency_exceeds_hxbar():
+    """The mesh pays multi-hop latency the crossbars avoid — part of the
+    paper's argument for crossbars in GPUs."""
+    cfg = GPUConfig.baseline()
+    m = MeshNoC(cfg)
+    h = make_topology(cfg)
+    t_mesh = m.request_arrival(0.0, 0, 7, 7, False)
+    t_hx = h.request_arrival(0.0, 0, 7, 7, False)
+    assert t_mesh > t_hx
+
+
+def test_mesh_inventory_and_area():
+    m = mesh()
+    inv = m.inventory()
+    assert len(inv.routers) == 2 * m.rows * m.cols
+    area = NoCPowerModel().area(inv)
+    assert area.total > 0
+    assert area.crossbar > 0
+
+
+def test_mesh_validation():
+    cfg = GPUConfig.baseline()
+    with pytest.raises(ValueError):
+        MeshNoC(cfg, rows=7)          # 80 SMs don't tile 7 rows
+    with pytest.raises(ValueError):
+        MeshNoC(cfg, rows=8, mc_cols=3)  # 64 slices don't tile 24 nodes
+
+
+def test_mesh_contention_at_concentrators():
+    m = mesh()
+    a = m.request_arrival(0.0, 0, 0, 0, True)
+    b = m.request_arrival(0.0, 1, 1, 1, True)  # same SM node: port shared
+    assert b > a

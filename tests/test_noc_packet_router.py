@@ -1,0 +1,77 @@
+"""Tests for packet flit math and the router timing model."""
+
+import pytest
+
+from repro.noc.packet import Packet, packet_flits, reply_flits, request_flits
+from repro.noc.router import RouterModel
+
+
+def test_packet_flits_head_plus_body():
+    assert packet_flits(0, 32) == 1          # head-only
+    assert packet_flits(128, 32) == 5        # 4 body + head
+    assert packet_flits(128, 16) == 9
+    assert packet_flits(1, 32) == 2          # partial body flit rounds up
+
+
+def test_packet_flits_validation():
+    with pytest.raises(ValueError):
+        packet_flits(128, 0)
+    with pytest.raises(ValueError):
+        packet_flits(-1, 32)
+
+
+def test_request_reply_asymmetry():
+    # Read request: address only.  Write request: carries the line.
+    assert request_flits(False, 128, 32) == 1
+    assert request_flits(True, 128, 32) == 5
+    # Read reply: carries the line.  Write reply: short ack.
+    assert reply_flits(False, 128, 32) == 5
+    assert reply_flits(True, 128, 32) == 1
+
+
+def test_packet_dataclass():
+    p = Packet(src=0, dst=3, payload_bytes=128, channel_bytes=32)
+    assert p.flits == 5
+
+
+def test_router_forward_latency_and_serialization():
+    r = RouterModel("r", n_in=4, n_out=4, pipeline_stages=4)
+    t1 = r.forward(0.0, 0, flits=5)
+    assert t1 == pytest.approx(5 + 4)     # serialize 5 flits + pipeline
+    # Same port: second packet queues behind the first.
+    t2 = r.forward(0.0, 0, flits=5)
+    assert t2 == pytest.approx(10 + 4)
+    # Different port: no conflict.
+    t3 = r.forward(0.0, 1, flits=5)
+    assert t3 == pytest.approx(5 + 4)
+
+
+def test_router_counts_activity():
+    r = RouterModel("r", 2, 2)
+    r.forward(0.0, 0, 5)
+    r.forward(0.0, 1, 1)
+    assert r.buffer_flits == 6
+    assert r.xbar_flits == 6
+    assert r.packets == 2
+    r.reset_activity()
+    assert r.buffer_flits == 0 and r.packets == 0
+
+
+def test_router_port_bounds():
+    r = RouterModel("r", 2, 2)
+    with pytest.raises(IndexError):
+        r.forward(0.0, 2, 1)
+    with pytest.raises(ValueError):
+        r.forward(0.0, 0, 0)
+    with pytest.raises(ValueError):
+        RouterModel("bad", 0, 2)
+
+
+def test_router_utilization():
+    r = RouterModel("r", 2, 2, pipeline_stages=0)
+    r.forward(0.0, 0, 10)
+    assert r.utilization(20.0) == pytest.approx((10 / 20) / 2)
+
+
+def test_port_product():
+    assert RouterModel("r", 80, 64).port_product == 5120

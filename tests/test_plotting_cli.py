@@ -1,0 +1,77 @@
+"""Tests for terminal plotting and the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.plotting import bar_chart, grouped_chart, hbar
+
+
+# ---------------------------------------------------------------- plotting
+def test_hbar_scales():
+    assert hbar(1.0, 1.0, width=10).startswith("█" * 10)
+    assert hbar(0.0, 1.0, width=10).strip() == ""
+    assert len(hbar(0.5, 1.0, width=10)) == 10
+    with pytest.raises(ValueError):
+        hbar(1.0, 0.0)
+
+
+def test_hbar_clamps_overflow():
+    assert hbar(5.0, 1.0, width=4) == "████"
+
+
+def test_bar_chart_contains_labels_and_values():
+    out = bar_chart({"shared": 1.0, "private": 1.35}, title="fig",
+                    reference=1.0)
+    assert "fig" in out
+    assert "shared" in out and "private" in out
+    assert "1.350" in out
+
+
+def test_bar_chart_empty():
+    assert bar_chart({}) == "(empty chart)"
+
+
+def test_grouped_chart_skips_nan():
+    rows = [{"b": "X", "a_norm": 1.0, "b_norm": float("nan")}]
+    out = grouped_chart(rows, "b", ["a_norm", "b_norm"])
+    assert "a_norm" in out
+    assert "b_norm" not in out
+
+
+# --------------------------------------------------------------------- CLI
+def test_parser_commands():
+    parser = build_parser()
+    args = parser.parse_args(["run", "VA", "--mode", "shared"])
+    assert args.benchmark == "VA"
+    args = parser.parse_args(["figure", "13", "--scale", "0.5"])
+    assert args.number == "13"
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "NOPE"])
+    with pytest.raises(SystemExit):
+        parser.parse_args(["bogus"])
+
+
+def test_cli_catalog(capsys):
+    assert main(["catalog"]) == 0
+    out = capsys.readouterr().out
+    assert "LUD" in out and "VA" in out
+
+
+def test_cli_tables(capsys):
+    assert main(["tables"]) == 0
+    out = capsys.readouterr().out
+    assert "80 SMs, 1400 MHz" in out
+    assert "B+TREE Search" in out
+
+
+def test_cli_analyze(capsys):
+    assert main(["analyze", "SN", "--scale", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "shared_access_fraction" in out
+    assert "OK" in out
+
+
+def test_cli_run_small(capsys):
+    assert main(["run", "VA", "--mode", "shared", "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "IPC" in out

@@ -1,0 +1,74 @@
+"""Tests for the system energy model."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.experiments.runner import experiment_config
+from repro.gpu.system import GPUSystem
+from repro.power.gpu_power import (
+    GPUPowerCoefficients,
+    GPUPowerModel,
+    SystemEnergyReport,
+)
+from repro.noc.power import NoCEnergyBreakdown
+from repro.workloads.catalog import build
+
+
+def run_system(abbr="SN", mode="shared", n=8000):
+    cfg = experiment_config()
+    w = build(abbr, total_accesses=n, num_ctas=160, max_kernels=1)
+    s = GPUSystem(cfg, w, mode=mode)
+    r = s.run()
+    return s, r
+
+
+def test_report_positive_components():
+    s, r = run_system()
+    rep = GPUPowerModel().report(s, r)
+    assert rep.sm_dynamic > 0
+    assert rep.l1_dynamic > 0
+    assert rep.llc_dynamic > 0
+    assert rep.dram_dynamic > 0
+    assert rep.static > 0
+    assert rep.noc_total > 0
+    assert rep.total == pytest.approx(
+        rep.noc.total + rep.sm_dynamic + rep.l1_dynamic + rep.llc_dynamic
+        + rep.dram_dynamic + rep.static)
+
+
+def test_mean_watts_plausible_for_high_end_gpu():
+    s, r = run_system()
+    watts = GPUPowerModel().report(s, r).mean_watts
+    assert 20.0 < watts < 500.0
+
+
+def test_private_mode_saves_noc_energy():
+    """The headline of Figure 14: gated MC-routers cut NoC energy."""
+    s_sh, r_sh = run_system("SN", "shared", n=20_000)
+    s_pr, r_pr = run_system("SN", "private", n=20_000)
+    model = GPUPowerModel()
+    noc_shared = model.report(s_sh, r_sh).noc_total / r_sh.cycles
+    noc_private = model.report(s_pr, r_pr).noc_total / r_pr.cycles
+    assert noc_private < noc_shared
+
+
+def test_private_mode_increases_dram_energy_for_writes():
+    """Write-through private LLC inflates DRAM traffic (Section 6.2)."""
+    s_sh, r_sh = run_system("VA", "shared", n=20_000)
+    s_pr, r_pr = run_system("VA", "private", n=20_000)
+    model = GPUPowerModel()
+    assert (model.report(s_pr, r_pr).dram_dynamic
+            > model.report(s_sh, r_sh).dram_dynamic)
+
+
+def test_static_scales_with_cycles():
+    c = GPUPowerCoefficients()
+    assert c.static_pj_per_cycle(80) > c.static_pj_per_cycle(40)
+
+
+def test_report_as_dict_and_empty():
+    rep = SystemEnergyReport(noc=NoCEnergyBreakdown())
+    d = rep.as_dict()
+    assert set(d) == {"noc", "sm_dynamic", "l1_dynamic", "llc_dynamic",
+                      "dram_dynamic", "static", "total"}
+    assert rep.mean_watts == 0.0

@@ -1,0 +1,111 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import Engine
+
+
+def test_events_fire_in_time_order():
+    eng = Engine()
+    fired = []
+    eng.schedule(5.0, lambda: fired.append(5))
+    eng.schedule(1.0, lambda: fired.append(1))
+    eng.schedule(3.0, lambda: fired.append(3))
+    eng.run()
+    assert fired == [1, 3, 5]
+    assert eng.now == 5.0
+
+
+def test_same_time_events_fire_fifo():
+    eng = Engine()
+    fired = []
+    for i in range(10):
+        eng.schedule(2.0, lambda i=i: fired.append(i))
+    eng.run()
+    assert fired == list(range(10))
+
+
+def test_schedule_after_uses_relative_delay():
+    eng = Engine()
+    times = []
+    eng.schedule(10.0, lambda: eng.schedule_after(5.0, lambda: times.append(eng.now)))
+    eng.run()
+    assert times == [15.0]
+
+
+def test_cannot_schedule_in_past():
+    eng = Engine()
+    eng.schedule(10.0, lambda: None)
+    eng.run()
+    with pytest.raises(ValueError):
+        eng.schedule(5.0, lambda: None)
+
+
+def test_negative_delay_rejected():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        eng.schedule_after(-1.0, lambda: None)
+
+
+def test_until_horizon_stops_and_advances_clock():
+    eng = Engine()
+    fired = []
+    eng.schedule(1.0, lambda: fired.append(1))
+    eng.schedule(100.0, lambda: fired.append(100))
+    eng.run(until=50.0)
+    assert fired == [1]
+    assert eng.now == 50.0
+    assert eng.pending == 1
+    eng.run()
+    assert fired == [1, 100]
+
+
+def test_until_beyond_last_event_advances_clock():
+    eng = Engine()
+    eng.schedule(1.0, lambda: None)
+    eng.run(until=500.0)
+    assert eng.now == 500.0
+
+
+def test_cancelled_events_are_skipped():
+    eng = Engine()
+    fired = []
+    ev = eng.schedule(1.0, lambda: fired.append("a"))
+    eng.schedule(2.0, lambda: fired.append("b"))
+    ev.cancel()
+    eng.run()
+    assert fired == ["b"]
+    assert eng.drained()
+
+
+def test_events_scheduled_during_run_fire():
+    eng = Engine()
+    fired = []
+
+    def chain(depth):
+        fired.append(depth)
+        if depth < 3:
+            eng.schedule_after(1.0, lambda: chain(depth + 1))
+
+    eng.schedule(0.0, lambda: chain(0))
+    eng.run()
+    assert fired == [0, 1, 2, 3]
+    assert eng.now == 3.0
+
+
+def test_max_events_limits_processing():
+    eng = Engine()
+    fired = []
+    for i in range(10):
+        eng.schedule(float(i), lambda i=i: fired.append(i))
+    eng.run(max_events=4)
+    assert fired == [0, 1, 2, 3]
+    assert eng.pending == 6
+
+
+def test_events_processed_counter():
+    eng = Engine()
+    for i in range(7):
+        eng.schedule(float(i), lambda: None)
+    eng.run()
+    assert eng.events_processed == 7

@@ -1,0 +1,63 @@
+"""Tests for workload characterization."""
+
+import pytest
+
+from repro.workloads.analysis import characterize, verify_category
+from repro.workloads.catalog import benchmark, build
+from repro.workloads.generator import generate_workload
+from repro.workloads.trace import CTAStream, KernelTrace, Workload
+
+
+def tiny_workload(keys_per_cta, category="neutral"):
+    ctas = [CTAStream(i, keys, [False] * len(keys))
+            for i, keys in enumerate(keys_per_cta)]
+    return Workload("T", [KernelTrace(0, ctas, instrs_per_access=2.0)],
+                    category=category)
+
+
+def test_characterize_counts():
+    w = tiny_workload([[1, 2, 3], [3, 4]])
+    p = characterize(w)
+    assert p.total_accesses == 5
+    assert p.distinct_lines == 4
+    assert p.shared_lines == 1           # line 3 touched by both CTAs
+    assert p.shared_access_fraction == pytest.approx(2 / 5)
+    assert p.max_sharers == 2
+    assert p.accesses_per_line == pytest.approx(5 / 4)
+    assert p.write_fraction == 0.0
+    assert p.total_instructions == pytest.approx(10.0)
+
+
+def test_characterize_catalog_categories():
+    private = characterize(build("SN", total_accesses=4000, num_ctas=32))
+    neutral = characterize(build("VA", total_accesses=4000, num_ctas=32))
+    assert private.shared_access_fraction > neutral.shared_access_fraction
+    assert private.is_sharing_intensive()
+    assert not neutral.is_sharing_intensive()
+
+
+def test_verify_category_flags_mislabels():
+    # A "private-friendly" workload with no sharing must be flagged.
+    w = tiny_workload([[1, 2], [3, 4]], category="private")
+    problems = verify_category(characterize(w))
+    assert problems
+
+
+def test_verify_category_accepts_catalog():
+    for abbr in ("AN", "VA", "GEMM"):
+        w = build(abbr, total_accesses=6000, num_ctas=32)
+        assert verify_category(characterize(w)) == []
+
+
+def test_footprint_tracks_table2_scaling():
+    """Bigger catalog footprints spread accesses over a wider address range
+    (scaled traces sample footprints sparsely, so the *span* is the robust
+    Table 2 signal, not the distinct-line count)."""
+    def span(abbr):
+        w = build(abbr, total_accesses=8000, num_ctas=32)
+        keys = [k for kern in w.kernels for c in kern.ctas for k in c.keys]
+        return max(keys) - min(keys)
+
+    assert span("RN") > span("SN")
+    small = characterize(build("SN", total_accesses=8000, num_ctas=32))
+    assert small.footprint_mb > 0

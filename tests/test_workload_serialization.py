@@ -1,0 +1,70 @@
+"""Tests for trace save/load round-tripping."""
+
+import pytest
+
+from repro.experiments.runner import experiment_config
+from repro.gpu.system import GPUSystem
+from repro.workloads.catalog import build
+from repro.workloads.serialization import (
+    load_workload,
+    save_workload,
+    workload_from_dict,
+    workload_to_dict,
+)
+
+
+def test_dict_roundtrip_preserves_everything():
+    w = build("AN", total_accesses=2000, num_ctas=16, max_kernels=2)
+    w2 = workload_from_dict(workload_to_dict(w))
+    assert w2.name == w.name
+    assert w2.category == w.category
+    assert w2.shared_mb == w.shared_mb
+    assert len(w2.kernels) == len(w.kernels)
+    for k1, k2 in zip(w.kernels, w2.kernels):
+        assert k2.instrs_per_access == k1.instrs_per_access
+        assert k2.warps_per_cta == k1.warps_per_cta
+        assert k2.barrier_interval == k1.barrier_interval
+        assert k2.l1_bypass_lo == k1.l1_bypass_lo
+        assert k2.l1_bypass_hi == k1.l1_bypass_hi
+        for c1, c2 in zip(k1.ctas, k2.ctas):
+            assert c2.keys == c1.keys
+            assert c2.writes == c1.writes
+
+
+def test_file_roundtrip(tmp_path):
+    w = build("VA", total_accesses=1000, num_ctas=8)
+    path = tmp_path / "va.trace.gz"
+    save_workload(w, path)
+    w2 = load_workload(path)
+    assert w2.total_accesses == w.total_accesses
+    assert path.stat().st_size > 0
+
+
+def test_loaded_trace_simulates_identically(tmp_path):
+    w = build("SN", total_accesses=2000, num_ctas=16, max_kernels=1)
+    path = tmp_path / "sn.trace.gz"
+    save_workload(w, path)
+    w2 = load_workload(path)
+    cfg = experiment_config()
+    r1 = GPUSystem(cfg, w, mode="shared").run()
+    r2 = GPUSystem(cfg, w2, mode="shared").run()
+    assert r1.cycles == r2.cycles
+    assert r1.llc_accesses == r2.llc_accesses
+
+
+def test_format_version_checked():
+    with pytest.raises(ValueError):
+        workload_from_dict({"format_version": 99})
+
+
+def test_write_index_validation():
+    data = {
+        "format_version": 1,
+        "name": "X",
+        "kernels": [{
+            "kernel_id": 0, "instrs_per_access": 2.0, "warps_per_cta": 1,
+            "ctas": [{"cta_id": 0, "keys": [1, 2], "write_indices": [5]}],
+        }],
+    }
+    with pytest.raises(ValueError):
+        workload_from_dict(data)

@@ -5,21 +5,26 @@ Commands
 ``run``        simulate one benchmark under one LLC policy
 ``compare``    one benchmark under all three policies, side by side
 ``figure``     regenerate a paper figure (2, 3, 7, 11, 12, 13, 14, 15, 16)
+               or every figure at once (``figure all``)
+``sweep``      declarative campaign sweep over benchmarks x modes x overrides
 ``tables``     print Tables 1 and 2
 ``catalog``    list the benchmark suite with its category parameters
 ``analyze``    characterize a generated workload trace
+
+``run``, ``compare``, ``figure`` and ``sweep`` accept ``--jobs N`` (fan the
+simulations out over N worker processes) and ``--cache-dir DIR`` (memoize
+finished runs on disk, keyed by the content hash of the full run spec, so
+repeated figures and overlapping sweeps never re-simulate).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from repro.experiments.runner import (
-    experiment_config,
-    print_rows,
-    run_benchmark,
-)
+from repro.experiments.campaign import Campaign, RunSpec
+from repro.experiments.runner import experiment_config, print_rows
 from repro.workloads.analysis import characterize, verify_category
 from repro.workloads.catalog import ALL_ABBRS, BENCHMARKS, build
 
@@ -35,9 +40,25 @@ _FIGURES = {
     "16": "repro.experiments.fig16_sensitivity",
 }
 
+MODES = ("shared", "private", "adaptive")
+
+
+def _campaign_from(args: argparse.Namespace) -> Campaign:
+    return Campaign(jobs=getattr(args, "jobs", 1),
+                    cache_dir=getattr(args, "cache_dir", None))
+
+
+def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the simulations")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="on-disk result cache (content-keyed JSON)")
+
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    res = run_benchmark(args.benchmark, args.mode, scale=args.scale)
+    campaign = _campaign_from(args)
+    res = campaign.result(RunSpec.single(args.benchmark, args.mode,
+                                         scale=args.scale))
     print(f"{args.benchmark} [{args.mode}]: IPC {res.ipc:.2f} over "
           f"{res.cycles:.0f} cycles")
     print(f"  LLC: miss rate {res.llc_miss_rate:.3f}, response rate "
@@ -50,23 +71,146 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    campaign = _campaign_from(args)
+    specs = [RunSpec.single(args.benchmark, mode, scale=args.scale)
+             for mode in MODES]
+    results = campaign.results(specs)
     rows = []
     base = None
-    for mode in ("shared", "private", "adaptive"):
-        res = run_benchmark(args.benchmark, mode, scale=args.scale)
-        base = base or res.ipc
-        rows.append({"mode": mode, "ipc": res.ipc, "vs_shared": res.ipc / base,
+    for mode, res in zip(MODES, results):
+        if base is None:
+            base = res.ipc
+        vs_shared = res.ipc / base if base > 0 else float("nan")
+        rows.append({"mode": mode, "ipc": res.ipc, "vs_shared": vs_shared,
                      "llc_miss": res.llc_miss_rate,
                      "resp_rate": res.llc_response_rate})
     print_rows(rows)
     return 0
 
 
-def _cmd_figure(args: argparse.Namespace) -> int:
+def _figure_modules(numbers: list[str]):
     import importlib
 
-    module = importlib.import_module(_FIGURES[args.number])
-    module.main(scale=args.scale)
+    return [(num, importlib.import_module(_FIGURES[num])) for num in numbers]
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    campaign = _campaign_from(args)
+    numbers = (sorted(_FIGURES, key=int) if args.number == "all"
+               else [args.number])
+    modules = _figure_modules(numbers)
+    # Declare every figure's specs up front: identical runs collapse to one
+    # simulation across figures, and the whole batch shares the worker pool.
+    all_specs = []
+    for _, module in modules:
+        all_specs.extend(module.specs(scale=args.scale))
+    campaign.prefetch(all_specs)
+    for i, (_, module) in enumerate(modules):
+        if i:
+            print()
+        module.main(scale=args.scale, campaign=campaign)
+    if len(modules) > 1:
+        print(f"\n{_campaign_summary(campaign, all_specs)}")
+    return 0
+
+
+def _campaign_summary(campaign: Campaign, specs: list[RunSpec]) -> str:
+    """One-line accounting: how much work the campaign declared vs ran.
+
+    Duplicates are counted from the declared batch itself (specs whose
+    content key repeats), not from the campaign's memo traffic — figure
+    drivers re-read memoized results freely, which is not deduplication.
+    """
+    duplicates = len(specs) - len({spec.cache_key() for spec in specs})
+    return (f"[campaign] {campaign.executed} simulations, "
+            f"{campaign.cache_hits} disk-cache hits, "
+            f"{duplicates} duplicate specs merged")
+
+
+def _parse_override(text: str) -> tuple[str, object]:
+    """``key=value`` / ``noc.key=value`` with JSON-typed values."""
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(
+            f"override {text!r} is not of the form key=value")
+    key, _, raw = text.partition("=")
+    try:
+        value = json.loads(raw)
+    except ValueError:
+        value = raw  # bare strings ("hynix") need no quoting
+    return key.strip(), value
+
+
+def sweep_config(overrides: list[tuple[str, object]]):
+    """Scaled experiment config + dotted-path overrides, via the canonical
+    serialization (``noc.channel_bytes=16``, ``adaptive.epoch_cycles=...``,
+    ``dram_timing.tCL=...``, or any top-level ``GPUConfig`` field)."""
+    from repro.config import GPUConfig
+
+    data = experiment_config().to_dict()
+    for key, value in overrides:
+        node = data
+        parts = key.split(".")
+        for part in parts[:-1]:
+            if not isinstance(node.get(part), dict):
+                raise ValueError(f"unknown config group {part!r} in {key!r}")
+            node = node[part]
+        if parts[-1] not in node:
+            raise ValueError(f"unknown config field {key!r}")
+        current = node[parts[-1]]
+        ok = (isinstance(value, bool) if isinstance(current, bool)
+              else isinstance(value, int) and not isinstance(value, bool)
+              if isinstance(current, int)
+              else isinstance(value, (int, float)) and not isinstance(value, bool)
+              if isinstance(current, float)
+              else isinstance(value, type(current)))
+        if not ok:
+            raise ValueError(
+                f"{key!r} expects {type(current).__name__}, "
+                f"got {value!r} ({type(value).__name__})")
+        if isinstance(current, float):
+            # Canonicalize so `--set x=0` and `--set x=0.0` serialize (and
+            # therefore content-hash) identically.
+            value = float(value)
+        node[parts[-1]] = value
+    cfg = GPUConfig.from_dict(data)
+    cfg.validate()
+    return cfg
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        cfg = sweep_config(args.set or [])
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    benchmarks = args.benchmarks.split(",") if args.benchmarks else ALL_ABBRS
+    unknown = [b for b in benchmarks if b not in BENCHMARKS]
+    if unknown:
+        print(f"error: unknown benchmarks {unknown}", file=sys.stderr)
+        return 2
+    modes = args.modes.split(",")
+    bad_modes = [m for m in modes if m not in MODES]
+    if bad_modes:
+        print(f"error: unknown modes {bad_modes}", file=sys.stderr)
+        return 2
+
+    campaign = _campaign_from(args)
+    specs = [RunSpec.single(abbr, mode, cfg, scale=args.scale)
+             for abbr in benchmarks for mode in modes]
+    results = campaign.results(specs)
+    rows = []
+    for spec, res in zip(specs, results):
+        rows.append({
+            "benchmark": spec.benchmark,
+            "mode": spec.mode,
+            "ipc": res.ipc,
+            "llc_miss": res.llc_miss_rate,
+            "resp_rate": res.llc_response_rate,
+            "time_priv": (res.time_in_private / res.cycles
+                          if res.cycles else 0.0),
+        })
+    print_rows(rows)
+    print(_campaign_summary(campaign, specs))
     return 0
 
 
@@ -120,20 +264,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="simulate one benchmark")
     p_run.add_argument("benchmark", choices=ALL_ABBRS)
-    p_run.add_argument("--mode", default="adaptive",
-                       choices=["shared", "private", "adaptive"])
+    p_run.add_argument("--mode", default="adaptive", choices=list(MODES))
     p_run.add_argument("--scale", type=float, default=1.0)
+    _add_campaign_flags(p_run)
     p_run.set_defaults(fn=_cmd_run)
 
     p_cmp = sub.add_parser("compare", help="all three LLC policies")
     p_cmp.add_argument("benchmark", choices=ALL_ABBRS)
     p_cmp.add_argument("--scale", type=float, default=1.0)
+    _add_campaign_flags(p_cmp)
     p_cmp.set_defaults(fn=_cmd_compare)
 
-    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
-    p_fig.add_argument("number", choices=sorted(_FIGURES))
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure "
+                                          "(or 'all' for every figure)")
+    p_fig.add_argument("number", choices=sorted(_FIGURES) + ["all"])
     p_fig.add_argument("--scale", type=float, default=1.0)
+    _add_campaign_flags(p_fig)
     p_fig.set_defaults(fn=_cmd_figure)
+
+    p_sw = sub.add_parser("sweep", help="campaign sweep over benchmarks x "
+                                        "modes x config overrides")
+    p_sw.add_argument("--benchmarks", default=None,
+                      help="comma-separated abbreviations (default: all 17)")
+    p_sw.add_argument("--modes", default="shared,private,adaptive",
+                      help="comma-separated LLC policies")
+    p_sw.add_argument("--scale", type=float, default=1.0)
+    p_sw.add_argument("--set", action="append", type=_parse_override,
+                      metavar="KEY=VALUE",
+                      help="config override, dotted for nested groups "
+                           "(e.g. --set noc.channel_bytes=16); repeatable")
+    _add_campaign_flags(p_sw)
+    p_sw.set_defaults(fn=_cmd_sweep)
 
     p_tab = sub.add_parser("tables", help="print Tables 1 and 2")
     p_tab.set_defaults(fn=_cmd_tables)

@@ -8,11 +8,42 @@ use :func:`dataclasses.replace` without aliasing surprises.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
 
 
+def _fields_from_dict(cls, data: dict) -> dict:
+    """Keyword arguments for ``cls`` from ``data``, rejecting unknown keys."""
+    names = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(data) - names
+    if unknown:
+        raise ValueError(f"unknown {cls.__name__} fields: {sorted(unknown)}")
+    return dict(data)
+
+
+def canonical_key(data: dict) -> str:
+    """Stable content hash of a JSON-ready dict: one recipe for every
+    layer that derives cache keys (configs here, run specs in the campaign
+    module), so keys can never diverge between them."""
+    blob = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class _SerializableConfig:
+    """Round-trip mixin: canonical dict form and a stable content key."""
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (nested dataclasses become dicts)."""
+        return dataclasses.asdict(self)
+
+    def cache_key(self) -> str:
+        """Stable content hash of the canonical serialization."""
+        return canonical_key(self.to_dict())
+
+
 @dataclass(frozen=True)
-class DRAMTiming:
+class DRAMTiming(_SerializableConfig):
     """GDDR5 timing parameters in core-clock cycles (paper Table 1)."""
 
     tCL: int = 12
@@ -24,9 +55,13 @@ class DRAMTiming:
     tCCD: int = 2
     tWR: int = 12
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "DRAMTiming":
+        return cls(**_fields_from_dict(cls, data))
+
 
 @dataclass(frozen=True)
-class NoCConfig:
+class NoCConfig(_SerializableConfig):
     """Interconnect configuration.
 
     ``topology`` is one of ``"hxbar"`` (hierarchical two-stage crossbar, the
@@ -56,9 +91,13 @@ class NoCConfig:
             return 0
         return -(-payload_bytes // self.channel_bytes)
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "NoCConfig":
+        return cls(**_fields_from_dict(cls, data))
+
 
 @dataclass(frozen=True)
-class AdaptiveConfig:
+class AdaptiveConfig(_SerializableConfig):
     """Parameters of the adaptive LLC controller (paper Section 4).
 
     The paper uses 1M-cycle epochs with 50K-cycle profiling phases.  Scaled
@@ -82,9 +121,13 @@ class AdaptiveConfig:
     writeback_cycles_per_line: float = 0.25
     power_gate_cycles: int = 30
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "AdaptiveConfig":
+        return cls(**_fields_from_dict(cls, data))
+
 
 @dataclass(frozen=True)
-class GPUConfig:
+class GPUConfig(_SerializableConfig):
     """Baseline GPU architecture from paper Table 1.
 
     80 SMs at 1400 MHz arranged in 8 clusters of 10; 8 memory controllers with
@@ -139,6 +182,18 @@ class GPUConfig:
     def replace(self, **kwargs) -> "GPUConfig":
         """Return a copy with the given fields overridden."""
         return dataclasses.replace(self, **kwargs)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GPUConfig":
+        """Inverse of :meth:`to_dict`; nested sub-configs are rebuilt."""
+        kwargs = _fields_from_dict(cls, data)
+        if isinstance(kwargs.get("dram_timing"), dict):
+            kwargs["dram_timing"] = DRAMTiming.from_dict(kwargs["dram_timing"])
+        if isinstance(kwargs.get("noc"), dict):
+            kwargs["noc"] = NoCConfig.from_dict(kwargs["noc"])
+        if isinstance(kwargs.get("adaptive"), dict):
+            kwargs["adaptive"] = AdaptiveConfig.from_dict(kwargs["adaptive"])
+        return cls(**kwargs)
 
     # ------------------------------------------------------------- geometry
     @property

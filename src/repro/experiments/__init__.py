@@ -1,11 +1,15 @@
 """Experiment drivers: one module per paper table/figure.
 
-Every driver exposes ``run(scale=...)`` returning row dicts in the same
-shape as the paper's plot, plus ``print_rows`` for human-readable output.
-The ``scale`` knob multiplies trace lengths so CI-speed smoke runs and
-paper-scale runs share one code path.
+Every driver exposes ``specs(scale=...)`` — the declarative list of
+simulations it needs — and ``run(scale=..., campaign=...)`` returning row
+dicts in the same shape as the paper's plot, plus ``print_rows`` for
+human-readable output.  The ``scale`` knob multiplies trace lengths so
+CI-speed smoke runs and paper-scale runs share one code path; the shared
+:class:`~repro.experiments.campaign.Campaign` deduplicates, caches, and
+parallelizes the simulations behind every driver.
 """
 
+from repro.experiments.campaign import Campaign, RunSpec
 from repro.experiments.runner import (
     DEFAULT_ACCESSES,
     experiment_config,
@@ -15,6 +19,8 @@ from repro.experiments.runner import (
 )
 
 __all__ = [
+    "Campaign",
+    "RunSpec",
     "DEFAULT_ACCESSES",
     "experiment_config",
     "run_benchmark",

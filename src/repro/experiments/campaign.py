@@ -1,0 +1,260 @@
+"""Declarative experiment campaigns: specs, dedup, caching, parallelism.
+
+Every paper figure is a set of simulations keyed by
+``(benchmark/pair, LLC mode, config, scale, flags)``.  Historically each
+figure driver re-ran its simulations serially and from scratch, even though
+Figures 11/12/13 (for example) overlap heavily.  The campaign layer fixes
+both problems at once:
+
+* :class:`RunSpec` — a frozen, declarative description of one simulation
+  with a stable **content key** (SHA-256 of the canonical JSON serialization
+  of the spec, including the full :class:`~repro.config.GPUConfig`).  Two
+  specs that would produce the same simulation hash identically, no matter
+  which figure declared them.
+* :class:`Campaign` — executes a batch of specs, deduplicating identical
+  ones, serving repeats from an in-process memo and an optional on-disk
+  JSON cache, and fanning cache misses out over a ``multiprocessing`` pool.
+
+Workloads are generated from CRC32-seeded RNGs and the simulator is fully
+deterministic, so a result computed in a worker process is byte-identical
+to one computed inline — which is what makes content-keyed caching sound.
+
+Usage::
+
+    campaign = Campaign(jobs=4, cache_dir=".repro-cache")
+    specs = [RunSpec.single("VA", m) for m in ("shared", "private")]
+    shared, private = campaign.results(specs)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from multiprocessing import get_context
+from typing import Iterable, Optional, Sequence
+
+from repro.config import GPUConfig, canonical_key
+from repro.gpu.system import RunResult
+
+#: Bump when the serialization format or simulator semantics change in a way
+#: that invalidates previously cached results.
+CACHE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation, fully described.
+
+    ``pair_with`` switches the spec from a single-benchmark run to a
+    two-program mix (Figure 15); all other fields mean the same thing they
+    mean on :func:`repro.experiments.runner.run_benchmark`.
+    """
+
+    benchmark: str
+    mode: str
+    cfg: GPUConfig
+    scale: float = 1.0
+    pair_with: Optional[str] = None
+    num_ctas: Optional[int] = None
+    max_kernels: int = 3
+    collect_locality: bool = False
+    with_energy: bool = False
+
+    # ------------------------------------------------------- constructors
+    @staticmethod
+    def single(benchmark: str, mode: str, cfg: Optional[GPUConfig] = None,
+               scale: float = 1.0, num_ctas: Optional[int] = None,
+               max_kernels: int = 3, collect_locality: bool = False,
+               with_energy: bool = False) -> "RunSpec":
+        """A one-benchmark run (the :func:`run_benchmark` shape)."""
+        from repro.experiments.runner import experiment_config
+
+        return RunSpec(benchmark=benchmark, mode=mode,
+                       cfg=cfg if cfg is not None else experiment_config(),
+                       scale=scale, num_ctas=num_ctas,
+                       max_kernels=max_kernels,
+                       collect_locality=collect_locality,
+                       with_energy=with_energy)
+
+    @staticmethod
+    def pair(abbr_a: str, abbr_b: str, mode: str,
+             cfg: Optional[GPUConfig] = None, scale: float = 1.0,
+             max_kernels: int = 1) -> "RunSpec":
+        """A two-program mix (the :func:`run_pair` shape)."""
+        from repro.experiments.runner import experiment_config
+
+        return RunSpec(benchmark=abbr_a, mode=mode,
+                       cfg=cfg if cfg is not None else experiment_config(),
+                       scale=scale, pair_with=abbr_b,
+                       max_kernels=max_kernels)
+
+    # ------------------------------------------------------ serialization
+    def to_dict(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "mode": self.mode,
+            "cfg": self.cfg.to_dict(),
+            "scale": self.scale,
+            "pair_with": self.pair_with,
+            "num_ctas": self.num_ctas,
+            "max_kernels": self.max_kernels,
+            "collect_locality": self.collect_locality,
+            "with_energy": self.with_energy,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSpec":
+        kwargs = dict(data)
+        kwargs["cfg"] = GPUConfig.from_dict(kwargs["cfg"])
+        return cls(**kwargs)
+
+    def cache_key(self) -> str:
+        """Stable content hash: identical simulations hash identically."""
+        return canonical_key(self.to_dict())
+
+    def label(self) -> str:
+        """Short human-readable tag for progress output."""
+        name = self.benchmark
+        if self.pair_with:
+            name = f"{name}+{self.pair_with}"
+        return f"{name}/{self.mode}@{self.scale:g}"
+
+
+def execute_spec(spec: RunSpec) -> RunResult:
+    """Run one spec to completion (no caching — the campaign's worker)."""
+    from repro.experiments.runner import run_benchmark, run_pair
+
+    if spec.pair_with is not None:
+        return run_pair(spec.benchmark, spec.pair_with, spec.mode, spec.cfg,
+                        scale=spec.scale, max_kernels=spec.max_kernels,
+                        num_ctas=spec.num_ctas,
+                        collect_locality=spec.collect_locality,
+                        with_energy=spec.with_energy)
+    return run_benchmark(spec.benchmark, spec.mode, spec.cfg,
+                         scale=spec.scale, num_ctas=spec.num_ctas,
+                         max_kernels=spec.max_kernels,
+                         collect_locality=spec.collect_locality,
+                         with_energy=spec.with_energy)
+
+
+def _pool_worker(payload: dict) -> tuple[str, dict]:
+    """Module-level so it pickles under every multiprocessing start method."""
+    spec = RunSpec.from_dict(payload)
+    return spec.cache_key(), execute_spec(spec).to_dict()
+
+
+class Campaign:
+    """Executes :class:`RunSpec` batches with dedup, caching, parallelism.
+
+    ``jobs`` is the worker-pool width (1 = run inline, no pool).
+    ``cache_dir`` enables the on-disk JSON cache; one file per content key,
+    written atomically, so concurrent campaigns can share a directory.
+
+    Counters (all per-instance):
+
+    * ``executed``   — simulations actually run;
+    * ``cache_hits`` — results served from the on-disk cache;
+    * ``memo_hits``  — repeat requests served from process memory.
+    """
+
+    def __init__(self, jobs: int = 1, cache_dir: Optional[str] = None):
+        self.jobs = max(1, int(jobs))
+        self.cache_dir = cache_dir
+        self.executed = 0
+        self.cache_hits = 0
+        self.memo_hits = 0
+        self._memo: dict[str, RunResult] = {}
+        if cache_dir:
+            os.makedirs(cache_dir, exist_ok=True)
+
+    # -------------------------------------------------------------- query
+    def result(self, spec: RunSpec) -> RunResult:
+        """The result for one spec (executing it if needed)."""
+        return self.results([spec])[0]
+
+    def results(self, specs: Sequence[RunSpec]) -> list[RunResult]:
+        """Results aligned with ``specs``; unique misses run once each."""
+        self.prefetch(specs)
+        return [self._memo[spec.cache_key()] for spec in specs]
+
+    # ---------------------------------------------------------- execution
+    def prefetch(self, specs: Iterable[RunSpec]) -> None:
+        """Ensure every spec's result is memoized, running misses in bulk.
+
+        Identical specs collapse to one execution; disk-cached results are
+        loaded instead of re-run; the remainder fans out over the pool.
+        """
+        todo: dict[str, RunSpec] = {}
+        for spec in specs:
+            key = spec.cache_key()
+            if key in self._memo:
+                self.memo_hits += 1
+                continue
+            if key in todo:
+                self.memo_hits += 1  # duplicate within this batch
+                continue
+            cached = self._load(key)
+            if cached is not None:
+                self._memo[key] = cached
+                self.cache_hits += 1
+                continue
+            todo[key] = spec
+        if not todo:
+            return
+        if self.jobs == 1 or len(todo) == 1:
+            for key, spec in todo.items():
+                self._finish(key, spec, execute_spec(spec).to_dict())
+            return
+        # Fork-based workers inherit the imported simulator for free on
+        # POSIX; spawn re-imports it, which is still correct, just slower.
+        ctx = get_context()
+        with ctx.Pool(processes=min(self.jobs, len(todo))) as pool:
+            payloads = [spec.to_dict() for spec in todo.values()]
+            for key, result_dict in pool.imap_unordered(_pool_worker,
+                                                        payloads):
+                self._finish(key, todo[key], result_dict)
+
+    def _finish(self, key: str, spec: RunSpec, result_dict: dict) -> None:
+        # Results always round-trip through the dict form so that a fresh
+        # execution and a cache hit hand the caller structurally identical
+        # objects (tuples vs lists, nested report types, ...).
+        self.executed += 1
+        self._store(key, spec, result_dict)
+        self._memo[key] = RunResult.from_dict(result_dict)
+
+    # ------------------------------------------------------------ storage
+    def _path(self, key: str) -> Optional[str]:
+        if not self.cache_dir:
+            return None
+        return os.path.join(self.cache_dir, f"{key}.json")
+
+    def _load(self, key: str) -> Optional[RunResult]:
+        path = self._path(key)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path, encoding="utf-8") as fh:
+                record = json.load(fh)
+            if record.get("version") != CACHE_VERSION:
+                return None
+            return RunResult.from_dict(record["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None  # corrupt or stale entry: fall through to re-run
+
+    def _store(self, key: str, spec: RunSpec, result_dict: dict) -> None:
+        path = self._path(key)
+        if path is None:
+            return
+        record = {"version": CACHE_VERSION, "spec": spec.to_dict(),
+                  "result": result_dict}
+        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(record, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise

@@ -3,20 +3,36 @@ benchmark category, with the paper's harmonic-mean (HM) summary bars."""
 
 from __future__ import annotations
 
-from repro.experiments.runner import experiment_config, print_rows, run_benchmark
+from repro.experiments.campaign import Campaign, RunSpec
+from repro.experiments.runner import experiment_config, print_rows
 from repro.sim.stats import harmonic_mean
 from repro.workloads.catalog import CATEGORIES
 
 
-def run(scale: float = 1.0, categories: list[str] | None = None) -> list[dict]:
+def specs(scale: float = 1.0,
+          categories: list[str] | None = None) -> list[RunSpec]:
+    """Every simulation this figure needs, declared up front."""
+    cfg = experiment_config()
+    return [RunSpec.single(abbr, mode, cfg, scale=scale)
+            for category in (categories or list(CATEGORIES))
+            for abbr in CATEGORIES[category]
+            for mode in ("shared", "private")]
+
+
+def run(scale: float = 1.0, categories: list[str] | None = None,
+        campaign: Campaign | None = None) -> list[dict]:
     """Rows: benchmark, category, shared/private IPC, normalized private."""
+    campaign = campaign or Campaign()
+    campaign.prefetch(specs(scale, categories))
     cfg = experiment_config()
     rows = []
     for category in categories or list(CATEGORIES):
         speedups = []
         for abbr in CATEGORIES[category]:
-            shared = run_benchmark(abbr, "shared", cfg, scale=scale)
-            private = run_benchmark(abbr, "private", cfg, scale=scale)
+            shared = campaign.result(
+                RunSpec.single(abbr, "shared", cfg, scale=scale))
+            private = campaign.result(
+                RunSpec.single(abbr, "private", cfg, scale=scale))
             norm = private.ipc / shared.ipc
             speedups.append(norm)
             rows.append({
@@ -36,8 +52,8 @@ def run(scale: float = 1.0, categories: list[str] | None = None) -> list[dict]:
     return rows
 
 
-def main(scale: float = 1.0) -> list[dict]:
-    rows = run(scale)
+def main(scale: float = 1.0, campaign: Campaign | None = None) -> list[dict]:
+    rows = run(scale, campaign=campaign)
     print("Figure 2 — normalized performance, private LLC vs shared LLC")
     print_rows(rows)
     return rows

@@ -3,21 +3,35 @@ LLC lines touched by 1 / 2 / 3-4 / 5-8 clusters per 1000-cycle window."""
 
 from __future__ import annotations
 
-from repro.experiments.runner import experiment_config, print_rows, run_benchmark
+from repro.experiments.campaign import Campaign, RunSpec
+from repro.experiments.runner import experiment_config, print_rows
 from repro.workloads.catalog import CATEGORIES
 
 BUCKETS = ["1 cluster", "2 clusters", "3-4 clusters", "5-8 clusters"]
 
 
-def run(scale: float = 1.0, categories: list[str] | None = None) -> list[dict]:
+def specs(scale: float = 1.0,
+          categories: list[str] | None = None) -> list[RunSpec]:
+    cfg = experiment_config()
+    return [RunSpec.single(abbr, "shared", cfg, scale=scale,
+                           collect_locality=True)
+            for category in (categories or list(CATEGORIES))
+            for abbr in CATEGORIES[category]]
+
+
+def run(scale: float = 1.0, categories: list[str] | None = None,
+        campaign: Campaign | None = None) -> list[dict]:
+    campaign = campaign or Campaign()
+    campaign.prefetch(specs(scale, categories))
     cfg = experiment_config()
     rows = []
     for category in categories or list(CATEGORIES):
         sums = [0.0] * 4
         count = 0
         for abbr in CATEGORIES[category]:
-            res = run_benchmark(abbr, "shared", cfg, scale=scale,
-                                collect_locality=True)
+            res = campaign.result(
+                RunSpec.single(abbr, "shared", cfg, scale=scale,
+                               collect_locality=True))
             fr = res.locality_fractions or [0.0] * 4
             row = {"benchmark": abbr, "category": category}
             row.update({b: f for b, f in zip(BUCKETS, fr)})
@@ -30,8 +44,8 @@ def run(scale: float = 1.0, categories: list[str] | None = None) -> list[dict]:
     return rows
 
 
-def main(scale: float = 1.0) -> list[dict]:
-    rows = run(scale)
+def main(scale: float = 1.0, campaign: Campaign | None = None) -> list[dict]:
+    rows = run(scale, campaign=campaign)
     print("Figure 3 — inter-cluster locality (shared LLC, 1000-cycle windows)")
     print_rows(rows)
     return rows

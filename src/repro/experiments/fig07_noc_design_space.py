@@ -10,7 +10,8 @@ crossbar (H-Xbar) at equal bisection bandwidth on (a) normalized IPC,
 from __future__ import annotations
 
 from repro.config import NoCConfig
-from repro.experiments.runner import experiment_config, print_rows, run_benchmark
+from repro.experiments.campaign import Campaign, RunSpec
+from repro.experiments.runner import experiment_config, print_rows
 from repro.noc import NoCPowerModel, make_topology
 from repro.sim.stats import harmonic_mean
 
@@ -32,8 +33,21 @@ def _cfg_for(topology: str, channel: int, concentration: int):
                                            concentration=concentration))
 
 
-def run(scale: float = 1.0, workloads: list[str] | None = None) -> list[dict]:
+def specs(scale: float = 1.0,
+          workloads: list[str] | None = None) -> list[RunSpec]:
     workloads = workloads or WORKLOADS
+    return [RunSpec.single(abbr, "shared", _cfg_for(topo, channel, conc),
+                           scale=scale, with_energy=True)
+            for _, designs in PAIRINGS
+            for _, topo, channel, conc in designs
+            for abbr in workloads]
+
+
+def run(scale: float = 1.0, workloads: list[str] | None = None,
+        campaign: Campaign | None = None) -> list[dict]:
+    workloads = workloads or WORKLOADS
+    campaign = campaign or Campaign()
+    campaign.prefetch(specs(scale, workloads))
     model = NoCPowerModel()
     rows = []
     baseline_ipc: dict[str, float] = {}
@@ -46,8 +60,9 @@ def run(scale: float = 1.0, workloads: list[str] | None = None) -> list[dict]:
             energy_pj = 0.0
             cycles = 0.0
             for abbr in workloads:
-                res = run_benchmark(abbr, "shared", cfg, scale=scale,
-                                    with_energy=True)
+                res = campaign.result(
+                    RunSpec.single(abbr, "shared", cfg, scale=scale,
+                                   with_energy=True))
                 ipcs.append(res.ipc)
                 energy_pj += res.energy.noc_total
                 cycles += res.cycles
@@ -73,8 +88,8 @@ def run(scale: float = 1.0, workloads: list[str] | None = None) -> list[dict]:
     return rows
 
 
-def main(scale: float = 1.0) -> list[dict]:
-    rows = run(scale)
+def main(scale: float = 1.0, campaign: Campaign | None = None) -> list[dict]:
+    rows = run(scale, campaign=campaign)
     print("Figure 7 — NoC design space (normalized to the full crossbar)")
     print_rows(rows)
     return rows

@@ -3,20 +3,34 @@
 
 from __future__ import annotations
 
-from repro.experiments.runner import experiment_config, print_rows, run_benchmark
+from repro.experiments.campaign import Campaign, RunSpec
+from repro.experiments.runner import experiment_config, print_rows
 from repro.sim.stats import harmonic_mean
 from repro.workloads.catalog import CATEGORIES
 
 MODES = ["shared", "private", "adaptive"]
 
 
-def run(scale: float = 1.0, categories: list[str] | None = None) -> list[dict]:
+def specs(scale: float = 1.0,
+          categories: list[str] | None = None) -> list[RunSpec]:
+    cfg = experiment_config()
+    return [RunSpec.single(abbr, mode, cfg, scale=scale)
+            for category in (categories or list(CATEGORIES))
+            for abbr in CATEGORIES[category]
+            for mode in MODES]
+
+
+def run(scale: float = 1.0, categories: list[str] | None = None,
+        campaign: Campaign | None = None) -> list[dict]:
+    campaign = campaign or Campaign()
+    campaign.prefetch(specs(scale, categories))
     cfg = experiment_config()
     rows = []
     for category in categories or list(CATEGORIES):
         norms = {m: [] for m in MODES}
         for abbr in CATEGORIES[category]:
-            results = {m: run_benchmark(abbr, m, cfg, scale=scale)
+            results = {m: campaign.result(RunSpec.single(abbr, m, cfg,
+                                                         scale=scale))
                        for m in MODES}
             base = results["shared"].ipc
             row = {"benchmark": abbr, "category": category}
@@ -35,8 +49,8 @@ def run(scale: float = 1.0, categories: list[str] | None = None) -> list[dict]:
     return rows
 
 
-def main(scale: float = 1.0) -> list[dict]:
-    rows = run(scale)
+def main(scale: float = 1.0, campaign: Campaign | None = None) -> list[dict]:
+    rows = run(scale, campaign=campaign)
     print("Figure 11 — normalized IPC: shared vs private vs adaptive LLC")
     print_rows(rows)
     return rows

@@ -3,19 +3,30 @@ workloads under shared, private, and adaptive LLCs."""
 
 from __future__ import annotations
 
-from repro.experiments.runner import experiment_config, print_rows, run_benchmark
+from repro.experiments.campaign import Campaign, RunSpec
+from repro.experiments.runner import experiment_config, print_rows
 from repro.sim.stats import harmonic_mean
 from repro.workloads.catalog import CATEGORIES
 
 MODES = ["shared", "private", "adaptive"]
 
 
-def run(scale: float = 1.0) -> list[dict]:
+def specs(scale: float = 1.0) -> list[RunSpec]:
+    cfg = experiment_config()
+    return [RunSpec.single(abbr, mode, cfg, scale=scale)
+            for abbr in CATEGORIES["private"] for mode in MODES]
+
+
+def run(scale: float = 1.0, campaign: Campaign | None = None) -> list[dict]:
+    campaign = campaign or Campaign()
+    campaign.prefetch(specs(scale))
     cfg = experiment_config()
     rows = []
     ratios = {m: [] for m in MODES}
     for abbr in CATEGORIES["private"]:
-        results = {m: run_benchmark(abbr, m, cfg, scale=scale) for m in MODES}
+        results = {m: campaign.result(RunSpec.single(abbr, m, cfg,
+                                                     scale=scale))
+                   for m in MODES}
         base = results["shared"].llc_response_rate
         row = {"benchmark": abbr}
         for m in MODES:
@@ -29,8 +40,8 @@ def run(scale: float = 1.0) -> list[dict]:
     return rows
 
 
-def main(scale: float = 1.0) -> list[dict]:
-    rows = run(scale)
+def main(scale: float = 1.0, campaign: Campaign | None = None) -> list[dict]:
+    rows = run(scale, campaign=campaign)
     print("Figure 12 — LLC response rate (flits/cycle), private-friendly apps")
     print_rows(rows)
     return rows

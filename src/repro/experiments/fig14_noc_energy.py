@@ -4,21 +4,34 @@ buffer/crossbar/links/other split, plus the total-system energy change."""
 
 from __future__ import annotations
 
-from repro.experiments.runner import experiment_config, print_rows, run_benchmark
+from repro.experiments.campaign import Campaign, RunSpec
+from repro.experiments.runner import experiment_config, print_rows
 from repro.workloads.catalog import CATEGORIES
 
 
-def run(scale: float = 1.0) -> list[dict]:
+def specs(scale: float = 1.0) -> list[RunSpec]:
+    cfg = experiment_config()
+    return [RunSpec.single(abbr, mode, cfg, scale=scale, with_energy=True)
+            for category in ("private", "neutral")
+            for abbr in CATEGORIES[category]
+            for mode in ("shared", "adaptive")]
+
+
+def run(scale: float = 1.0, campaign: Campaign | None = None) -> list[dict]:
+    campaign = campaign or Campaign()
+    campaign.prefetch(specs(scale))
     cfg = experiment_config()
     rows = []
     noc_savings = []
     system_savings = []
     for category in ("private", "neutral"):
         for abbr in CATEGORIES[category]:
-            shared = run_benchmark(abbr, "shared", cfg, scale=scale,
-                                   with_energy=True)
-            adaptive = run_benchmark(abbr, "adaptive", cfg, scale=scale,
-                                     with_energy=True)
+            shared = campaign.result(
+                RunSpec.single(abbr, "shared", cfg, scale=scale,
+                               with_energy=True))
+            adaptive = campaign.result(
+                RunSpec.single(abbr, "adaptive", cfg, scale=scale,
+                               with_energy=True))
             base = shared.energy.noc_total
             adp = adaptive.energy.noc
             noc_norm = adp.total / base
@@ -46,8 +59,8 @@ def run(scale: float = 1.0) -> list[dict]:
     return rows
 
 
-def main(scale: float = 1.0) -> list[dict]:
-    rows = run(scale)
+def main(scale: float = 1.0, campaign: Campaign | None = None) -> list[dict]:
+    rows = run(scale, campaign=campaign)
     print("Figure 14 — NoC energy (adaptive / shared), private-friendly + neutral")
     print_rows(rows)
     return rows

@@ -8,29 +8,39 @@ the full GPU under the shared LLC baseline.
 
 from __future__ import annotations
 
-from repro.experiments.runner import (
-    experiment_config,
-    print_rows,
-    run_benchmark,
-    run_pair,
-)
+from repro.experiments.campaign import Campaign, RunSpec
+from repro.experiments.runner import experiment_config, print_rows
 from repro.metrics.perf import system_throughput
 from repro.workloads.multiprogram import all_shared_private_pairs
 
 
-def run(scale: float = 1.0, pairs: list[tuple[str, str]] | None = None
-        ) -> list[dict]:
+def specs(scale: float = 1.0,
+          pairs: list[tuple[str, str]] | None = None) -> list[RunSpec]:
     cfg = experiment_config()
     pairs = pairs or all_shared_private_pairs()
+    out = [RunSpec.single(abbr, "shared", cfg, scale=scale, max_kernels=1)
+           for abbr in sorted({a for p in pairs for a in p})]
+    out += [RunSpec.pair(a, b, mode, cfg, scale=scale)
+            for a, b in pairs for mode in ("shared", "adaptive")]
+    return out
+
+
+def run(scale: float = 1.0, pairs: list[tuple[str, str]] | None = None,
+        campaign: Campaign | None = None) -> list[dict]:
+    cfg = experiment_config()
+    pairs = pairs or all_shared_private_pairs()
+    campaign = campaign or Campaign()
+    campaign.prefetch(specs(scale, pairs))
     alone: dict[str, float] = {}
     for abbr in {a for p in pairs for a in p}:
-        alone[abbr] = run_benchmark(abbr, "shared", cfg, scale=scale,
-                                    max_kernels=1).ipc
+        alone[abbr] = campaign.result(
+            RunSpec.single(abbr, "shared", cfg, scale=scale,
+                           max_kernels=1)).ipc
     rows = []
     for a, b in pairs:
         row = {"pair": f"{a}+{b}"}
         for mode in ("shared", "adaptive"):
-            res = run_pair(a, b, mode, cfg, scale=scale)
+            res = campaign.result(RunSpec.pair(a, b, mode, cfg, scale=scale))
             ipcs = {p.name: p.ipc for p in res.programs}
             row[f"{mode}_stp"] = system_throughput(
                 [ipcs[a], ipcs[b]], [alone[a], alone[b]])
@@ -47,8 +57,9 @@ def run(scale: float = 1.0, pairs: list[tuple[str, str]] | None = None
     return rows
 
 
-def main(scale: float = 1.0, pairs=None) -> list[dict]:
-    rows = run(scale, pairs)
+def main(scale: float = 1.0, pairs=None,
+         campaign: Campaign | None = None) -> list[dict]:
+    rows = run(scale, pairs, campaign=campaign)
     print("Figure 15 — multi-program STP (sorted), shared vs adaptive LLC")
     print_rows(rows)
     return rows

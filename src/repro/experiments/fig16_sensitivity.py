@@ -9,69 +9,88 @@ bar pairs.
 
 from __future__ import annotations
 
-from repro.config import NoCConfig
-from repro.experiments.runner import experiment_config, print_rows, run_benchmark
+from repro.config import GPUConfig, NoCConfig
+from repro.experiments.campaign import Campaign, RunSpec
+from repro.experiments.runner import experiment_config, print_rows
 from repro.sim.stats import harmonic_mean
 from repro.workloads.catalog import CATEGORIES
 
 WORKLOADS = CATEGORIES["private"]
 
 
-def _point(label: str, group: str, cfg, scale: float,
-           workloads: list[str]) -> dict:
-    gains = []
-    for abbr in workloads:
-        shared = run_benchmark(abbr, "shared", cfg, scale=scale)
-        adaptive = run_benchmark(abbr, "adaptive", cfg, scale=scale)
-        gains.append(adaptive.ipc / shared.ipc)
-    return {"group": group, "point": label,
-            "adaptive_over_shared": harmonic_mean(gains)}
-
-
-def sensitivity_points(scale: float = 1.0,
-                       workloads: list[str] | None = None,
-                       groups: list[str] | None = None) -> list[dict]:
-    workloads = workloads or WORKLOADS
-    rows = []
+def sweep_configs(groups: list[str] | None = None
+                  ) -> list[tuple[str, str, GPUConfig]]:
+    """The sensitivity sweep, declared as ``(group, label, config)`` points."""
+    points: list[tuple[str, str, GPUConfig]] = []
 
     def want(group: str) -> bool:
         return groups is None or group in groups
 
     if want("address_mapping"):
         for label, mapping in [("PAE", "pae"), ("Hynix", "hynix")]:
-            cfg = experiment_config(address_mapping=mapping)
-            rows.append(_point(label, "address_mapping", cfg, scale, workloads))
+            points.append(("address_mapping", label,
+                           experiment_config(address_mapping=mapping)))
     if want("channel_width"):
         for width in (64, 32, 16):
-            cfg = experiment_config(noc=NoCConfig(channel_bytes=width))
-            rows.append(_point(f"{width}B", "channel_width", cfg, scale,
-                               workloads))
+            points.append(("channel_width", f"{width}B",
+                           experiment_config(noc=NoCConfig(channel_bytes=width))))
     if want("sm_count"):
         for sms in (40, 80, 160):
             clusters = sms // 10  # keep 10 SMs per cluster, as in the paper
-            cfg = experiment_config(num_sms=sms, num_clusters=clusters,
-                                    llc_slices_per_mc=clusters)
-            rows.append(_point(f"{sms} SMs", "sm_count", cfg, scale,
-                               workloads))
+            points.append(("sm_count", f"{sms} SMs",
+                           experiment_config(num_sms=sms,
+                                             num_clusters=clusters,
+                                             llc_slices_per_mc=clusters)))
     if want("l1_size"):
         for kb in (48, 64, 96, 128):
-            cfg = experiment_config(l1_size_kb=kb)
-            rows.append(_point(f"{kb}KB", "l1_size", cfg, scale, workloads))
+            points.append(("l1_size", f"{kb}KB",
+                           experiment_config(l1_size_kb=kb)))
     if want("cta_scheduler"):
         for label, policy in [("RR", "two_level_rr"), ("BCS", "bcs"),
                               ("DCS", "dcs")]:
-            cfg = experiment_config(cta_scheduler=policy)
-            rows.append(_point(label, "cta_scheduler", cfg, scale, workloads))
+            points.append(("cta_scheduler", label,
+                           experiment_config(cta_scheduler=policy)))
+    return points
+
+
+def specs(scale: float = 1.0, workloads: list[str] | None = None,
+          groups: list[str] | None = None) -> list[RunSpec]:
+    workloads = workloads or WORKLOADS
+    return [RunSpec.single(abbr, mode, cfg, scale=scale)
+            for _, _, cfg in sweep_configs(groups)
+            for abbr in workloads
+            for mode in ("shared", "adaptive")]
+
+
+def sensitivity_points(scale: float = 1.0,
+                       workloads: list[str] | None = None,
+                       groups: list[str] | None = None,
+                       campaign: Campaign | None = None) -> list[dict]:
+    workloads = workloads or WORKLOADS
+    campaign = campaign or Campaign()
+    campaign.prefetch(specs(scale, workloads, groups))
+    rows = []
+    for group, label, cfg in sweep_configs(groups):
+        gains = []
+        for abbr in workloads:
+            shared = campaign.result(
+                RunSpec.single(abbr, "shared", cfg, scale=scale))
+            adaptive = campaign.result(
+                RunSpec.single(abbr, "adaptive", cfg, scale=scale))
+            gains.append(adaptive.ipc / shared.ipc)
+        rows.append({"group": group, "point": label,
+                     "adaptive_over_shared": harmonic_mean(gains)})
     return rows
 
 
 def run(scale: float = 1.0, workloads: list[str] | None = None,
-        groups: list[str] | None = None) -> list[dict]:
-    return sensitivity_points(scale, workloads, groups)
+        groups: list[str] | None = None,
+        campaign: Campaign | None = None) -> list[dict]:
+    return sensitivity_points(scale, workloads, groups, campaign)
 
 
-def main(scale: float = 1.0) -> list[dict]:
-    rows = run(scale)
+def main(scale: float = 1.0, campaign: Campaign | None = None) -> list[dict]:
+    rows = run(scale, campaign=campaign)
     print("Figure 16 — sensitivity of adaptive/shared HM speedup")
     print_rows(rows)
     return rows

@@ -1,9 +1,14 @@
 """Shared experiment infrastructure.
 
-All figure drivers funnel through :func:`run_benchmark` /
-:func:`run_pair`, which build the simulated GPU from Table 1 defaults plus
-overrides, size traces per category, attach the scaled adaptive-controller
-parameters, and (optionally) an energy report.
+:func:`run_benchmark` / :func:`run_pair` build the simulated GPU from
+Table 1 defaults plus overrides, size traces per category, attach the
+scaled adaptive-controller parameters, and (optionally) an energy report.
+
+These are the *execution primitives*.  Figure drivers no longer call them
+directly: they declare :class:`~repro.experiments.campaign.RunSpec` batches
+and read results from a :class:`~repro.experiments.campaign.Campaign`,
+which deduplicates identical runs, caches finished results on disk, and
+fans cache misses out over a worker pool.
 """
 
 from __future__ import annotations
@@ -89,13 +94,26 @@ def run_benchmark(abbr: str, mode: str, cfg: Optional[GPUConfig] = None,
 
 def run_pair(abbr_a: str, abbr_b: str, mode: str,
              cfg: Optional[GPUConfig] = None, scale: float = 1.0,
-             max_kernels: int = 1) -> RunResult:
-    """Run a two-program mix (Figure 15)."""
+             max_kernels: int = 1, num_ctas: Optional[int] = None,
+             collect_locality: bool = False,
+             with_energy: bool = False) -> RunResult:
+    """Run a two-program mix (Figure 15).
+
+    Accepts the same optional flags as :func:`run_benchmark` so a campaign
+    :class:`~repro.experiments.campaign.RunSpec` means the same thing
+    whether it names one program or a pair.
+    """
     cfg = cfg or experiment_config()
     total = max(4_000, int(60_000 * scale))
+    if num_ctas is None:
+        num_ctas = 2 * cfg.num_sms
     mp = make_pair(abbr_a, abbr_b, total_accesses=total,
-                   num_ctas=2 * cfg.num_sms, max_kernels=max_kernels)
-    return GPUSystem(cfg, mp, mode=mode).run()
+                   num_ctas=num_ctas, max_kernels=max_kernels)
+    system = GPUSystem(cfg, mp, mode=mode, collect_locality=collect_locality)
+    result = system.run()
+    if with_energy:
+        result.energy = GPUPowerModel().report(system, result)
+    return result
 
 
 def print_rows(rows: list[dict], columns: Optional[list[str]] = None) -> None:

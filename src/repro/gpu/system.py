@@ -46,6 +46,15 @@ class ProgramStats:
     instructions: float
     ipc: float
 
+    def to_dict(self) -> dict:
+        return {"name": self.name, "instructions": self.instructions,
+                "ipc": self.ipc}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProgramStats":
+        return cls(name=data["name"], instructions=data["instructions"],
+                   ipc=data["ipc"])
+
 
 @dataclass
 class RunResult:
@@ -82,6 +91,60 @@ class RunResult:
     locality_fractions: Optional[list[float]] = None
     # optional SystemEnergyReport attached by the experiment runner
     energy: Optional[object] = None
+
+    _SCALAR_FIELDS = (
+        "workload", "mode", "cycles", "instructions", "ipc",
+        "llc_accesses", "llc_hits", "llc_misses", "llc_miss_rate",
+        "llc_response_flits", "llc_response_rate", "l1_miss_rate",
+        "dram_reads", "dram_writes", "dram_bytes",
+        "transitions", "stall_cycles", "time_in_private", "gated_cycles",
+    )
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-ready form; the campaign cache's on-disk record.
+
+        Tuples become lists (JSON has no tuple), adaptive ``decisions``
+        flatten their :class:`~repro.core.bandwidth_model.Decision`, and the
+        energy report serializes through its own ``to_dict``.
+        """
+        out = {name: getattr(self, name) for name in self._SCALAR_FIELDS}
+        out["mode_history"] = [list(entry) for entry in self.mode_history]
+        out["decisions"] = [
+            [when, {"mode": d.mode.value, "rule": d.rule,
+                    "shared_miss_rate": d.shared_miss_rate,
+                    "private_miss_rate": d.private_miss_rate,
+                    "shared_bw": d.shared_bw, "private_bw": d.private_bw}]
+            for when, d in self.decisions
+        ]
+        out["programs"] = [p.to_dict() for p in self.programs]
+        out["locality_fractions"] = self.locality_fractions
+        out["energy"] = self.energy.to_dict() if self.energy is not None else None
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        """Rebuild a result (tuple structure and nested objects restored)."""
+        from repro.core.bandwidth_model import Decision
+        from repro.core.modes import LLCMode
+        from repro.power.gpu_power import SystemEnergyReport
+
+        kwargs = {name: data[name] for name in cls._SCALAR_FIELDS}
+        kwargs["mode_history"] = [tuple(entry) for entry in data["mode_history"]]
+        kwargs["decisions"] = [
+            (when, Decision(mode=LLCMode(d["mode"]), rule=d["rule"],
+                            shared_miss_rate=d["shared_miss_rate"],
+                            private_miss_rate=d["private_miss_rate"],
+                            shared_bw=d["shared_bw"],
+                            private_bw=d["private_bw"]))
+            for when, d in data["decisions"]
+        ]
+        kwargs["programs"] = [ProgramStats.from_dict(p)
+                              for p in data["programs"]]
+        kwargs["locality_fractions"] = data["locality_fractions"]
+        energy = data.get("energy")
+        kwargs["energy"] = (SystemEnergyReport.from_dict(energy)
+                            if energy is not None else None)
+        return cls(**kwargs)
 
 
 class _ProgramContext:

@@ -84,6 +84,17 @@ class NoCEnergyBreakdown:
         return {"buffer": self.buffer, "crossbar": self.crossbar,
                 "links": self.links, "other": self.other, "total": self.total}
 
+    def to_dict(self) -> dict[str, float]:
+        """Loss-free serialization: the four components, no derived total."""
+        return {"buffer": self.buffer, "crossbar": self.crossbar,
+                "links": self.links, "other": self.other}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NoCEnergyBreakdown":
+        """Inverse of :meth:`to_dict` (a derived ``total`` key is ignored)."""
+        return cls(buffer=data["buffer"], crossbar=data["crossbar"],
+                   links=data["links"], other=data["other"])
+
     def scaled(self, factor: float) -> "NoCEnergyBreakdown":
         return NoCEnergyBreakdown(self.buffer * factor, self.crossbar * factor,
                                   self.links * factor, self.other * factor)

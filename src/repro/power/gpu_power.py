@@ -78,6 +78,31 @@ class SystemEnergyReport:
             "total": self.total,
         }
 
+    def to_dict(self) -> dict:
+        """Loss-free serialization (unlike :meth:`as_dict`, which flattens
+        the NoC split into its total for reporting)."""
+        return {
+            "noc": self.noc.to_dict(),
+            "sm_dynamic": self.sm_dynamic,
+            "l1_dynamic": self.l1_dynamic,
+            "llc_dynamic": self.llc_dynamic,
+            "dram_dynamic": self.dram_dynamic,
+            "static": self.static,
+            "cycles": self.cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SystemEnergyReport":
+        return cls(
+            noc=NoCEnergyBreakdown.from_dict(data["noc"]),
+            sm_dynamic=data["sm_dynamic"],
+            l1_dynamic=data["l1_dynamic"],
+            llc_dynamic=data["llc_dynamic"],
+            dram_dynamic=data["dram_dynamic"],
+            static=data["static"],
+            cycles=data["cycles"],
+        )
+
 
 class GPUPowerModel:
     """Computes a :class:`SystemEnergyReport` from a finished system."""

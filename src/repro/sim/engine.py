@@ -15,17 +15,27 @@ from typing import Callable, Optional
 class Event:
     """A scheduled callback.  Cancel by calling :meth:`cancel`."""
 
-    __slots__ = ("time", "seq", "fn", "cancelled")
+    __slots__ = ("time", "seq", "fn", "cancelled", "fired", "_engine")
 
-    def __init__(self, time: float, seq: int, fn: Callable[[], None]):
+    def __init__(self, time: float, seq: int, fn: Callable[[], None],
+                 engine: Optional["Engine"] = None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.cancelled = False
+        self.fired = False
+        self._engine = engine
 
     def cancel(self) -> None:
-        """Mark the event as dead; it will be skipped when popped."""
+        """Mark the event as dead; it will be skipped when popped.
+
+        Cancelling an event that already fired is a harmless no-op (the
+        adaptive controller bulk-cancels everything it ever scheduled)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if not self.fired and self._engine is not None:
+            self._engine._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -43,21 +53,47 @@ class Engine:
         eng.run(until=1000.0)
     """
 
+    #: Compaction threshold: never compact below this many cancellations
+    #: (tiny heaps rebuild too often to be worth it).
+    COMPACT_MIN_CANCELLED = 64
+
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: list[Event] = []
         self._seq = 0
         self._events_processed = 0
+        self._cancelled = 0  # dead events still sitting in the heap
 
     # ------------------------------------------------------------ schedule
     def schedule(self, time: float, fn: Callable[[], None]) -> Event:
         """Schedule ``fn`` to run at absolute ``time`` (>= now)."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
-        ev = Event(time, self._seq, fn)
+        ev = Event(time, self._seq, fn, engine=self)
         self._seq += 1
         heapq.heappush(self._heap, ev)
         return ev
+
+    # -------------------------------------------------------- cancellation
+    def _note_cancelled(self) -> None:
+        """A queued event was cancelled.  When dead events dominate the heap
+        (long adaptive runs cancel whole epochs of profiling events), compact
+        it so they don't accumulate for the rest of the run."""
+        self._cancelled += 1
+        if (self._cancelled >= self.COMPACT_MIN_CANCELLED
+                and self._cancelled * 2 > len(self._heap)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled events and restore the heap invariant.
+
+        In place: :meth:`run` holds a local reference to the heap list while
+        event callbacks (which may cancel events) are executing.
+        """
+        live = [ev for ev in self._heap if not ev.cancelled]
+        heapq.heapify(live)
+        self._heap[:] = live
+        self._cancelled = 0
 
     def schedule_after(self, delay: float, fn: Callable[[], None]) -> Event:
         """Schedule ``fn`` to run ``delay`` cycles from now."""
@@ -76,6 +112,7 @@ class Engine:
             ev = heap[0]
             if ev.cancelled:
                 heapq.heappop(heap)
+                self._cancelled -= 1
                 continue
             if until is not None and ev.time > until:
                 self.now = until
@@ -83,6 +120,7 @@ class Engine:
             if max_events is not None and processed >= max_events:
                 break
             heapq.heappop(heap)
+            ev.fired = True
             self.now = ev.time
             ev.fn()
             processed += 1
@@ -93,8 +131,9 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        """Number of live events still queued."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of live events still queued (O(1): the engine tracks how
+        many cancelled events are still parked in the heap)."""
+        return len(self._heap) - self._cancelled
 
     @property
     def events_processed(self) -> int:

@@ -1,0 +1,274 @@
+"""Campaign layer: spec content keys, config/result round-trips, the
+on-disk cache, dedup, and the process-parallel execution path."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main, sweep_config
+from repro.config import GPUConfig
+from repro.experiments import fig02_shared_vs_private, fig11_adaptive_performance, fig12_response_rate
+from repro.experiments.campaign import CACHE_VERSION, Campaign, RunSpec
+from repro.experiments.fig16_sensitivity import sweep_configs
+from repro.experiments.runner import experiment_config
+
+TINY = 0.05
+
+
+# ------------------------------------------------------ config round trips
+def test_baseline_config_round_trips():
+    cfg = GPUConfig.baseline()
+    assert GPUConfig.from_dict(cfg.to_dict()) == cfg
+
+
+def test_every_fig16_sensitivity_config_round_trips():
+    points = sweep_configs()
+    assert len(points) >= 15
+    for _, _, cfg in points:
+        clone = GPUConfig.from_dict(cfg.to_dict())
+        assert clone == cfg
+        assert clone.cache_key() == cfg.cache_key()
+
+
+def test_config_from_dict_rejects_unknown_fields():
+    data = GPUConfig.baseline().to_dict()
+    data["warp_speed"] = 9
+    with pytest.raises(ValueError, match="warp_speed"):
+        GPUConfig.from_dict(data)
+
+
+def test_config_cache_key_tracks_content():
+    base = experiment_config()
+    assert base.cache_key() == experiment_config().cache_key()
+    assert base.cache_key() != base.replace(l1_size_kb=64).cache_key()
+
+
+# ----------------------------------------------------------- RunSpec keys
+def test_runspec_round_trip_and_key_stability():
+    spec = RunSpec.single("VA", "adaptive", scale=TINY, with_energy=True)
+    clone = RunSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert clone == spec
+    assert clone.cache_key() == spec.cache_key()
+
+
+def test_runspec_key_distinguishes_every_axis():
+    base = RunSpec.single("VA", "shared", scale=TINY)
+    variants = [
+        RunSpec.single("GEMM", "shared", scale=TINY),
+        RunSpec.single("VA", "private", scale=TINY),
+        RunSpec.single("VA", "shared", scale=0.1),
+        RunSpec.single("VA", "shared", scale=TINY, with_energy=True),
+        RunSpec.single("VA", "shared", scale=TINY, collect_locality=True),
+        RunSpec.single("VA", "shared", scale=TINY, max_kernels=1),
+        RunSpec.single("VA", "shared",
+                       cfg=experiment_config(l1_size_kb=64), scale=TINY),
+        RunSpec.pair("VA", "AN", "shared", scale=TINY),
+    ]
+    keys = {v.cache_key() for v in variants}
+    assert len(keys) == len(variants)
+    assert base.cache_key() not in keys
+
+
+# ------------------------------------------------- determinism + the cache
+def test_fresh_run_and_cache_hit_serialize_identically(tmp_path):
+    cache = str(tmp_path / "cache")
+    spec = RunSpec.single("VA", "adaptive", scale=TINY, with_energy=True)
+
+    first = Campaign(cache_dir=cache)
+    fresh = first.result(spec)
+    assert first.executed == 1
+
+    second = Campaign(cache_dir=cache)
+    cached = second.result(spec)
+    assert second.executed == 0
+    assert second.cache_hits == 1
+    assert cached.to_dict() == fresh.to_dict()
+    assert cached == fresh
+
+    # and a from-scratch re-simulation is deterministic too
+    rerun = Campaign().result(spec)
+    assert rerun.to_dict() == fresh.to_dict()
+
+
+def test_cache_survives_json_round_trip_with_energy_and_pair(tmp_path):
+    cache = str(tmp_path / "cache")
+    spec = RunSpec.pair("GEMM", "AN", "shared", scale=TINY)
+    fresh = Campaign(cache_dir=cache).result(spec)
+    cached = Campaign(cache_dir=cache).result(spec)
+    assert [p.to_dict() for p in cached.programs] == \
+        [p.to_dict() for p in fresh.programs]
+    assert cached.to_dict() == fresh.to_dict()
+
+
+def test_stale_cache_version_is_ignored(tmp_path):
+    cache = str(tmp_path / "cache")
+    spec = RunSpec.single("VA", "shared", scale=TINY)
+    Campaign(cache_dir=cache).result(spec)
+    path = os.path.join(cache, f"{spec.cache_key()}.json")
+    with open(path, encoding="utf-8") as fh:
+        record = json.load(fh)
+    record["version"] = CACHE_VERSION + 1
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh)
+    campaign = Campaign(cache_dir=cache)
+    campaign.result(spec)
+    assert campaign.executed == 1  # stale entry re-simulated
+
+
+def test_corrupt_cache_entry_is_re_run(tmp_path):
+    cache = str(tmp_path / "cache")
+    spec = RunSpec.single("VA", "shared", scale=TINY)
+    os.makedirs(cache)
+    with open(os.path.join(cache, f"{spec.cache_key()}.json"), "w",
+              encoding="utf-8") as fh:
+        fh.write("{not json")
+    campaign = Campaign(cache_dir=cache)
+    res = campaign.result(spec)
+    assert campaign.executed == 1
+    assert res.ipc > 0
+
+
+def test_structurally_corrupt_cache_entry_is_re_run(tmp_path):
+    """Valid JSON of the wrong shape must fall through to a re-run too."""
+    cache = str(tmp_path / "cache")
+    spec = RunSpec.single("VA", "shared", scale=TINY)
+    Campaign(cache_dir=cache).result(spec)
+    path = os.path.join(cache, f"{spec.cache_key()}.json")
+    with open(path, encoding="utf-8") as fh:
+        record = json.load(fh)
+    record["result"]["decisions"] = [5]  # not a (when, decision) pair
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh)
+    campaign = Campaign(cache_dir=cache)
+    res = campaign.result(spec)
+    assert campaign.executed == 1
+    assert res.ipc > 0
+
+
+# ------------------------------------------------------------------ dedup
+def test_duplicate_specs_execute_once():
+    campaign = Campaign()
+    spec = RunSpec.single("VA", "shared", scale=TINY)
+    results = campaign.results([spec, spec, spec])
+    assert campaign.executed == 1
+    assert campaign.memo_hits == 2
+    assert results[0] is results[1] is results[2]
+
+
+def test_figures_11_and_12_share_their_private_category_runs():
+    campaign = Campaign()
+    fig11_adaptive_performance.run(scale=TINY, categories=["private"],
+                                   campaign=campaign)
+    first = campaign.executed
+    assert first == 15  # 5 private-friendly benchmarks x 3 modes
+    fig12_response_rate.run(scale=TINY, campaign=campaign)
+    assert campaign.executed == first  # identical specs: zero new runs
+
+
+def test_warm_figure_rerun_performs_zero_new_simulations(tmp_path):
+    cache = str(tmp_path / "cache")
+    cold = Campaign(cache_dir=cache)
+    rows_cold = fig02_shared_vs_private.run(scale=TINY,
+                                            categories=["private"],
+                                            campaign=cold)
+    assert cold.executed == 10  # 5 benchmarks x {shared, private}
+
+    warm = Campaign(cache_dir=cache)
+    rows_warm = fig02_shared_vs_private.run(scale=TINY,
+                                            categories=["private"],
+                                            campaign=warm)
+    assert warm.executed == 0
+    assert warm.cache_hits == 10
+    # identical rows, keys and values (HM rows hold NaN: compare via repr,
+    # which is exact for floats and treats NaN == NaN)
+    assert repr(rows_warm) == repr(rows_cold)
+
+
+# ------------------------------------------------------------- parallelism
+def test_parallel_pool_matches_serial_execution():
+    specs = [RunSpec.single("VA", mode, scale=TINY)
+             for mode in ("shared", "private")]
+    parallel = Campaign(jobs=2)
+    serial = Campaign(jobs=1)
+    for a, b in zip(parallel.results(specs), serial.results(specs)):
+        assert a.to_dict() == b.to_dict()
+    assert parallel.executed == serial.executed == 2
+
+
+# ------------------------------------------------------------- CLI surface
+def test_cli_sweep_warm_cache(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    argv = ["sweep", "--benchmarks", "VA", "--modes", "shared,adaptive",
+            "--scale", str(TINY), "--cache-dir", cache]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "2 simulations, 0 disk-cache hits" in out
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "0 simulations, 2 disk-cache hits" in out
+
+
+def test_cli_sweep_config_overrides(capsys):
+    assert main(["sweep", "--benchmarks", "VA", "--modes", "shared",
+                 "--scale", str(TINY), "--set", "noc.channel_bytes=16",
+                 "--set", "address_mapping=hynix"]) == 0
+    assert "VA" in capsys.readouterr().out
+
+
+def test_cli_sweep_rejects_unknown_override(capsys):
+    assert main(["sweep", "--benchmarks", "VA", "--modes", "shared",
+                 "--set", "bogus_field=3"]) == 2
+    assert "unknown config field" in capsys.readouterr().err
+
+
+def test_cli_sweep_rejects_unknown_benchmark(capsys):
+    assert main(["sweep", "--benchmarks", "NOPE"]) == 2
+    assert "unknown benchmarks" in capsys.readouterr().err
+
+
+def test_pair_spec_honors_energy_flag():
+    spec = RunSpec(benchmark="GEMM", mode="shared",
+                   cfg=experiment_config(), scale=TINY, pair_with="AN",
+                   max_kernels=1, with_energy=True)
+    res = Campaign().result(spec)
+    assert res.energy is not None
+    assert res.energy.total > 0
+
+
+def test_sweep_config_float_overrides_hash_like_native_floats():
+    int_form = sweep_config([("dram_bandwidth_gbps", 450)])
+    float_form = sweep_config([("dram_bandwidth_gbps", 450.0)])
+    assert int_form.cache_key() == float_form.cache_key()
+    assert int_form.cache_key() == \
+        experiment_config(dram_bandwidth_gbps=450.0).cache_key()
+
+
+def test_sweep_config_builds_nested_overrides():
+    cfg = sweep_config([("noc.channel_bytes", 16),
+                        ("adaptive.epoch_cycles", 99_000),
+                        ("l1_size_kb", 64)])
+    assert cfg.noc.channel_bytes == 16
+    assert cfg.adaptive.epoch_cycles == 99_000
+    assert cfg.l1_size_kb == 64
+    # untouched fields keep the scaled experiment defaults
+    assert cfg.adaptive.atd_sampled_sets == 48
+
+
+def test_cli_parser_accepts_campaign_flags():
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    args = parser.parse_args(["figure", "all", "--jobs", "4",
+                              "--cache-dir", "/tmp/x"])
+    assert args.number == "all" and args.jobs == 4
+    args = parser.parse_args(["compare", "VA", "--jobs", "2"])
+    assert args.jobs == 2
+    args = parser.parse_args(["run", "VA", "--cache-dir", "d"])
+    assert args.cache_dir == "d"
+
+
+def test_cli_compare_normalizes_to_shared(capsys):
+    assert main(["compare", "GEMM", "--scale", str(TINY)]) == 0
+    out = capsys.readouterr().out
+    assert "vs_shared" in out

@@ -109,3 +109,57 @@ def test_events_processed_counter():
         eng.schedule(float(i), lambda: None)
     eng.run()
     assert eng.events_processed == 7
+
+
+def test_pending_tracks_cancellations_without_scanning():
+    eng = Engine()
+    events = [eng.schedule(float(i + 1), lambda: None) for i in range(10)]
+    assert eng.pending == 10
+    for ev in events[:4]:
+        ev.cancel()
+    assert eng.pending == 6
+    events[0].cancel()  # double-cancel must not double-count
+    assert eng.pending == 6
+
+
+def test_cancelling_a_fired_event_is_a_noop():
+    eng = Engine()
+    ev = eng.schedule(1.0, lambda: None)
+    keeper = eng.schedule(2.0, lambda: None)
+    eng.run(until=1.5)
+    ev.cancel()  # already fired: accounting must not change
+    assert eng.pending == 1
+    keeper.cancel()
+    assert eng.pending == 0
+    assert eng.drained()
+
+
+def test_heap_compacts_when_cancelled_events_dominate():
+    eng = Engine()
+    threshold = Engine.COMPACT_MIN_CANCELLED
+    events = [eng.schedule(float(i + 1), lambda: None)
+              for i in range(2 * threshold)]
+    for ev in events[: threshold + 1]:
+        ev.cancel()
+    # dead events now dominate: the heap must have been rebuilt without them
+    assert len(eng._heap) == threshold - 1
+    assert eng.pending == threshold - 1
+    eng.run()
+    assert eng.events_processed == threshold - 1
+    assert eng.drained()
+
+
+def test_cancellation_during_run_keeps_order_and_counts():
+    eng = Engine()
+    fired = []
+    later = [eng.schedule(float(10 + i), lambda i=i: fired.append(i))
+             for i in range(6)]
+
+    def cancel_some():
+        for ev in later[::2]:
+            ev.cancel()
+
+    eng.schedule(1.0, cancel_some)
+    eng.run()
+    assert fired == [1, 3, 5]
+    assert eng.drained()

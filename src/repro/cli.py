@@ -6,15 +6,19 @@ Commands
 ``compare``    one benchmark under all three policies, side by side
 ``figure``     regenerate a paper figure (2, 3, 7, 11, 12, 13, 14, 15, 16)
                or every figure at once (``figure all``)
+``report``     run the whole campaign and build the HTML+Markdown paper
+               artifact with per-figure fidelity badges
 ``sweep``      declarative campaign sweep over benchmarks x modes x overrides
 ``tables``     print Tables 1 and 2
 ``catalog``    list the benchmark suite with its category parameters
 ``analyze``    characterize a generated workload trace
 
-``run``, ``compare``, ``figure`` and ``sweep`` accept ``--jobs N`` (fan the
-simulations out over N worker processes) and ``--cache-dir DIR`` (memoize
-finished runs on disk, keyed by the content hash of the full run spec, so
-repeated figures and overlapping sweeps never re-simulate).
+``run``, ``compare``, ``figure``, ``report`` and ``sweep`` accept
+``--jobs N`` (fan the simulations out over N worker processes) and
+``--cache-dir DIR`` (memoize finished runs on disk, keyed by the content
+hash of the full run spec, so repeated figures and overlapping sweeps
+never re-simulate).  ``--scale`` takes a float or a named preset
+(``smoke``/``small``/``medium``/``paper``).
 """
 
 from __future__ import annotations
@@ -23,24 +27,38 @@ import argparse
 import json
 import sys
 
+from repro.experiments import FIGURE_MODULES, figure_module
 from repro.experiments.campaign import Campaign, RunSpec
 from repro.experiments.runner import experiment_config, print_rows
 from repro.workloads.analysis import characterize, verify_category
 from repro.workloads.catalog import ALL_ABBRS, BENCHMARKS, build
 
-_FIGURES = {
-    "2": "repro.experiments.fig02_shared_vs_private",
-    "3": "repro.experiments.fig03_locality",
-    "7": "repro.experiments.fig07_noc_design_space",
-    "11": "repro.experiments.fig11_adaptive_performance",
-    "12": "repro.experiments.fig12_response_rate",
-    "13": "repro.experiments.fig13_miss_rate",
-    "14": "repro.experiments.fig14_noc_energy",
-    "15": "repro.experiments.fig15_multiprogram",
-    "16": "repro.experiments.fig16_sensitivity",
+MODES = ("shared", "private", "adaptive")
+
+#: Named trace-scale presets accepted anywhere ``--scale`` is.
+SCALE_PRESETS = {
+    "smoke": 0.02,   # fastest runs that still have shape (CI smoke)
+    "small": 0.05,   # figures keep their qualitative trends
+    "medium": 0.25,  # closer quantitative match, minutes not hours
+    "paper": 1.0,    # the calibrated full-size traces
+    "full": 1.0,
 }
 
-MODES = ("shared", "private", "adaptive")
+
+def parse_scale(text: str) -> float:
+    """``--scale`` values: a positive float or a named preset."""
+    preset = SCALE_PRESETS.get(text.lower())
+    if preset is not None:
+        return preset
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"scale {text!r} is neither a number nor one of "
+            f"{sorted(set(SCALE_PRESETS))}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError("scale must be positive")
+    return value
 
 
 def _campaign_from(args: argparse.Namespace) -> Campaign:
@@ -88,17 +106,11 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _figure_modules(numbers: list[str]):
-    import importlib
-
-    return [(num, importlib.import_module(_FIGURES[num])) for num in numbers]
-
-
 def _cmd_figure(args: argparse.Namespace) -> int:
     campaign = _campaign_from(args)
-    numbers = (sorted(_FIGURES, key=int) if args.number == "all"
+    numbers = (sorted(FIGURE_MODULES, key=int) if args.number == "all"
                else [args.number])
-    modules = _figure_modules(numbers)
+    modules = [(num, figure_module(num)) for num in numbers]
     # Declare every figure's specs up front: identical runs collapse to one
     # simulation across figures, and the whole batch shares the worker pool.
     all_specs = []
@@ -214,6 +226,32 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.report.builder import ReportBuilder
+
+    figures = ([tok.strip() for tok in args.figures.split(",") if tok.strip()]
+               if args.figures else None)
+    formats = (["html", "md"] if args.format == "both"
+               else [args.format])
+    try:
+        builder = ReportBuilder(args.out, scale=args.scale,
+                                campaign=_campaign_from(args),
+                                formats=formats, figures=figures)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = builder.build(progress=True)
+    statuses = [f"fig {f.number}: {f.status}" for f in result.figures]
+    print(f"[report] fidelity: {', '.join(statuses)}")
+    print(f"[report] artifact in {result.out_dir}/ "
+          f"({', '.join(result.index_paths)})")
+    if result.has_errors:
+        print("error: at least one expected_trends() check raised "
+              "(see the ERROR badges in the report)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_tables(_args: argparse.Namespace) -> int:
     from repro.experiments import tables
 
@@ -265,22 +303,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="simulate one benchmark")
     p_run.add_argument("benchmark", choices=ALL_ABBRS)
     p_run.add_argument("--mode", default="adaptive", choices=list(MODES))
-    p_run.add_argument("--scale", type=float, default=1.0)
+    p_run.add_argument("--scale", type=parse_scale, default=1.0,
+                       metavar="S",
+                       help="trace scale: float or preset "
+                            "(smoke/small/medium/paper)")
     _add_campaign_flags(p_run)
     p_run.set_defaults(fn=_cmd_run)
 
     p_cmp = sub.add_parser("compare", help="all three LLC policies")
     p_cmp.add_argument("benchmark", choices=ALL_ABBRS)
-    p_cmp.add_argument("--scale", type=float, default=1.0)
+    p_cmp.add_argument("--scale", type=parse_scale, default=1.0,
+                       metavar="S",
+                       help="trace scale: float or preset "
+                            "(smoke/small/medium/paper)")
     _add_campaign_flags(p_cmp)
     p_cmp.set_defaults(fn=_cmd_compare)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure "
                                           "(or 'all' for every figure)")
-    p_fig.add_argument("number", choices=sorted(_FIGURES) + ["all"])
-    p_fig.add_argument("--scale", type=float, default=1.0)
+    p_fig.add_argument("number", choices=sorted(FIGURE_MODULES) + ["all"])
+    p_fig.add_argument("--scale", type=parse_scale, default=1.0,
+                       metavar="S",
+                       help="trace scale: float or preset "
+                            "(smoke/small/medium/paper)")
     _add_campaign_flags(p_fig)
     p_fig.set_defaults(fn=_cmd_figure)
+
+    p_rep = sub.add_parser("report", help="build the full reproduction "
+                                          "report (HTML+MD artifact)")
+    p_rep.add_argument("--out", default="report", metavar="DIR",
+                       help="artifact directory (default: report/)")
+    p_rep.add_argument("--format", default="both",
+                       choices=["html", "md", "both"],
+                       help="page formats to render (default: both)")
+    p_rep.add_argument("--figures", default=None, metavar="N,N,...",
+                       help="comma-separated figure numbers "
+                            "(default: every figure)")
+    p_rep.add_argument("--scale", type=parse_scale, default=1.0,
+                       metavar="S",
+                       help="trace scale: float or preset "
+                            "(smoke/small/medium/paper)")
+    _add_campaign_flags(p_rep)
+    p_rep.set_defaults(fn=_cmd_report)
 
     p_sw = sub.add_parser("sweep", help="campaign sweep over benchmarks x "
                                         "modes x config overrides")
@@ -288,7 +352,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="comma-separated abbreviations (default: all 17)")
     p_sw.add_argument("--modes", default="shared,private,adaptive",
                       help="comma-separated LLC policies")
-    p_sw.add_argument("--scale", type=float, default=1.0)
+    p_sw.add_argument("--scale", type=parse_scale, default=1.0,
+                       metavar="S",
+                       help="trace scale: float or preset "
+                            "(smoke/small/medium/paper)")
     p_sw.add_argument("--set", action="append", type=_parse_override,
                       metavar="KEY=VALUE",
                       help="config override, dotted for nested groups "
@@ -304,7 +371,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_an = sub.add_parser("analyze", help="characterize a workload trace")
     p_an.add_argument("benchmark", choices=ALL_ABBRS)
-    p_an.add_argument("--scale", type=float, default=1.0)
+    p_an.add_argument("--scale", type=parse_scale, default=1.0,
+                       metavar="S",
+                       help="trace scale: float or preset "
+                            "(smoke/small/medium/paper)")
     p_an.set_defaults(fn=_cmd_analyze)
     return parser
 

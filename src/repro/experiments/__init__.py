@@ -1,13 +1,21 @@
 """Experiment drivers: one module per paper table/figure.
 
-Every driver exposes ``specs(scale=...)`` — the declarative list of
-simulations it needs — and ``run(scale=..., campaign=...)`` returning row
-dicts in the same shape as the paper's plot, plus ``print_rows`` for
-human-readable output.  The ``scale`` knob multiplies trace lengths so
-CI-speed smoke runs and paper-scale runs share one code path; the shared
+Every driver is *self-describing*: besides ``specs(scale=...)`` — the
+declarative list of simulations it needs — and ``run(scale=...,
+campaign=...)`` returning row dicts in the same shape as the paper's plot,
+each figure module declares ``TITLE``/``SLUG``/``PAPER_CLAIM`` metadata, a
+``CHART = (label_key, value_keys)`` rendering hint, and
+``expected_trends()`` — the paper's qualitative claims as
+:class:`~repro.report.trends.Trend` checks that the report subsystem
+badges PASS/WARN per figure.
+
+The ``scale`` knob multiplies trace lengths so CI-speed smoke runs and
+paper-scale runs share one code path; the shared
 :class:`~repro.experiments.campaign.Campaign` deduplicates, caches, and
 parallelizes the simulations behind every driver.
 """
+
+import importlib
 
 from repro.experiments.campaign import Campaign, RunSpec
 from repro.experiments.runner import (
@@ -18,11 +26,41 @@ from repro.experiments.runner import (
     scaled_adaptive_config,
 )
 
+#: Figure number -> driver module path, the one registry every consumer
+#: (CLI ``figure`` verb, report builder, tests) resolves figures through.
+FIGURE_MODULES = {
+    "2": "repro.experiments.fig02_shared_vs_private",
+    "3": "repro.experiments.fig03_locality",
+    "7": "repro.experiments.fig07_noc_design_space",
+    "11": "repro.experiments.fig11_adaptive_performance",
+    "12": "repro.experiments.fig12_response_rate",
+    "13": "repro.experiments.fig13_miss_rate",
+    "14": "repro.experiments.fig14_noc_energy",
+    "15": "repro.experiments.fig15_multiprogram",
+    "16": "repro.experiments.fig16_sensitivity",
+}
+
+
+def figure_module(number: str):
+    """Import and return the driver module for figure ``number``.
+
+    Args:
+        number: the paper figure number as a string (a
+            :data:`FIGURE_MODULES` key).
+
+    Raises:
+        KeyError: if the figure number is not in the registry.
+    """
+    return importlib.import_module(FIGURE_MODULES[number])
+
+
 __all__ = [
     "Campaign",
     "RunSpec",
     "DEFAULT_ACCESSES",
+    "FIGURE_MODULES",
     "experiment_config",
+    "figure_module",
     "run_benchmark",
     "run_pair",
     "scaled_adaptive_config",

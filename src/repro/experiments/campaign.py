@@ -50,6 +50,18 @@ class RunSpec:
     ``pair_with`` switches the spec from a single-benchmark run to a
     two-program mix (Figure 15); all other fields mean the same thing they
     mean on :func:`repro.experiments.runner.run_benchmark`.
+
+    Attributes:
+        benchmark: catalog abbreviation of the (first) program.
+        mode: LLC policy — ``"shared"``, ``"private"`` or ``"adaptive"``.
+        cfg: the full :class:`~repro.config.GPUConfig` (part of the key:
+            two specs differing only in config hash differently).
+        scale: trace-length multiplier (1.0 = calibrated full size).
+        pair_with: second program's abbreviation for two-program mixes.
+        num_ctas: CTA count override (default: 2 per SM).
+        max_kernels: kernel-boundary cap for the generated trace.
+        collect_locality: attach Figure 3's locality histogram.
+        with_energy: attach the system energy report.
     """
 
     benchmark: str
@@ -148,15 +160,16 @@ def _pool_worker(payload: dict) -> tuple[str, dict]:
 class Campaign:
     """Executes :class:`RunSpec` batches with dedup, caching, parallelism.
 
-    ``jobs`` is the worker-pool width (1 = run inline, no pool).
-    ``cache_dir`` enables the on-disk JSON cache; one file per content key,
-    written atomically, so concurrent campaigns can share a directory.
+    Args:
+        jobs: worker-pool width (1 = run inline, no pool).
+        cache_dir: enables the on-disk JSON cache; one file per content
+            key, written atomically, so concurrent campaigns can share a
+            directory.
 
-    Counters (all per-instance):
-
-    * ``executed``   — simulations actually run;
-    * ``cache_hits`` — results served from the on-disk cache;
-    * ``memo_hits``  — repeat requests served from process memory.
+    Attributes:
+        executed: simulations actually run by this instance.
+        cache_hits: results served from the on-disk cache.
+        memo_hits: repeat requests served from process memory.
     """
 
     def __init__(self, jobs: int = 1, cache_dir: Optional[str] = None):

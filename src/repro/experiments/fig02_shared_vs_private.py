@@ -5,8 +5,46 @@ from __future__ import annotations
 
 from repro.experiments.campaign import Campaign, RunSpec
 from repro.experiments.runner import experiment_config, print_rows
+from repro.report.trends import Trend
 from repro.sim.stats import harmonic_mean
 from repro.workloads.catalog import CATEGORIES
+
+TITLE = "Figure 2 — normalized performance, private LLC vs shared LLC"
+SLUG = "fig02"
+PAPER_CLAIM = ("Private-cache-friendly workloads speed up under a private "
+               "LLC while shared-cache-friendly (high inter-cluster "
+               "locality) workloads slow down — neither static "
+               "organization wins everywhere.")
+#: (label_key, value_keys) for the rendered chart.
+CHART = ("benchmark", ["private_norm"])
+
+
+def _category_hm(rows: list[dict], category: str) -> dict:
+    for row in rows:
+        if row["benchmark"] == "HM" and row["category"] == category:
+            return row
+    raise KeyError(f"no HM row for category {category!r}")
+
+
+def expected_trends() -> list[Trend]:
+    """The figure's paper-claimed trends, checked against ``run()`` rows."""
+
+    def private_wins(rows):
+        hm = _category_hm(rows, "private")["private_norm"]
+        return hm >= 1.0, f"HM(private category) = {hm:.3f} (want >= 1)"
+
+    def shared_wins(rows):
+        hm = _category_hm(rows, "shared")["private_norm"]
+        return hm <= 1.0, f"HM(shared category) = {hm:.3f} (want <= 1)"
+
+    return [
+        Trend("private_friendly_speedup",
+              "Private LLC speeds up the private-cache-friendly category "
+              "(HM normalized IPC >= 1)", private_wins),
+        Trend("shared_friendly_slowdown",
+              "Private LLC slows down the shared-cache-friendly category "
+              "(HM normalized IPC <= 1)", shared_wins),
+    ]
 
 
 def specs(scale: float = 1.0,
@@ -54,7 +92,7 @@ def run(scale: float = 1.0, categories: list[str] | None = None,
 
 def main(scale: float = 1.0, campaign: Campaign | None = None) -> list[dict]:
     rows = run(scale, campaign=campaign)
-    print("Figure 2 — normalized performance, private LLC vs shared LLC")
+    print(TITLE)
     print_rows(rows)
     return rows
 

@@ -5,9 +5,56 @@ from __future__ import annotations
 
 from repro.experiments.campaign import Campaign, RunSpec
 from repro.experiments.runner import experiment_config, print_rows
+from repro.report.trends import Trend
 from repro.workloads.catalog import CATEGORIES
 
 BUCKETS = ["1 cluster", "2 clusters", "3-4 clusters", "5-8 clusters"]
+
+TITLE = "Figure 3 — inter-cluster locality (shared LLC, 1000-cycle windows)"
+SLUG = "fig03"
+PAPER_CLAIM = ("Private-cache-friendly workloads show high inter-cluster "
+               "sharing (many clusters re-read the same lines, so "
+               "replicating them locally pays off), shared-friendly "
+               "workloads moderate sharing, and neutral streaming "
+               "workloads almost none.")
+CHART = ("benchmark", BUCKETS)
+
+
+def _category_avg(rows: list[dict], category: str) -> dict:
+    for row in rows:
+        if row["benchmark"] == "AVG" and row["category"] == category:
+            return row
+    raise KeyError(f"no AVG row for category {category!r}")
+
+
+def expected_trends() -> list[Trend]:
+    """The figure's paper-claimed trends, checked against ``run()`` rows."""
+
+    def fractions_sum(rows):
+        for row in rows:
+            total = sum(row[b] for b in BUCKETS)
+            if total and abs(total - 1.0) > 1e-6:
+                return False, (f"{row['benchmark']}: bucket fractions sum "
+                               f"to {total:.4f}")
+        return True, "every benchmark's bucket fractions sum to 1"
+
+    def sharing_order(rows):
+        multi = {c: 1.0 - _category_avg(rows, c)[BUCKETS[0]]
+                 for c in ("private", "shared", "neutral")}
+        ok = multi["neutral"] <= multi["shared"] <= multi["private"]
+        return ok, ("multi-cluster fraction: neutral "
+                    f"{multi['neutral']:.3f} <= shared "
+                    f"{multi['shared']:.3f} <= private "
+                    f"{multi['private']:.3f}?")
+
+    return [
+        Trend("fractions_well_formed",
+              "Locality bucket fractions partition the touched lines "
+              "(sum to 1 per benchmark)", fractions_sum),
+        Trend("sharing_orders_categories",
+              "Multi-cluster sharing orders the categories: private- "
+              "friendly > shared-friendly > neutral", sharing_order),
+    ]
 
 
 def specs(scale: float = 1.0,
@@ -46,7 +93,7 @@ def run(scale: float = 1.0, categories: list[str] | None = None,
 
 def main(scale: float = 1.0, campaign: Campaign | None = None) -> list[dict]:
     rows = run(scale, campaign=campaign)
-    print("Figure 3 — inter-cluster locality (shared LLC, 1000-cycle windows)")
+    print(TITLE)
     print_rows(rows)
     return rows
 

@@ -13,7 +13,61 @@ from repro.config import NoCConfig
 from repro.experiments.campaign import Campaign, RunSpec
 from repro.experiments.runner import experiment_config, print_rows
 from repro.noc import NoCPowerModel, make_topology
+from repro.report.trends import Trend
 from repro.sim.stats import harmonic_mean
+
+TITLE = "Figure 7 — NoC design space (normalized to the full crossbar)"
+SLUG = "fig07"
+PAPER_CLAIM = ("At equal bisection bandwidth the hierarchical crossbar "
+               "matches the full crossbar's performance in far less "
+               "silicon, and narrowing its channels trades a little IPC "
+               "for large power savings.")
+CHART = ("design", ["norm_ipc", "norm_power"])
+
+
+def _design(rows: list[dict], bandwidth: str, design: str) -> dict:
+    for row in rows:
+        if row["bandwidth"] == bandwidth and row["design"] == design:
+            return row
+    raise KeyError(f"no row for {design!r} at {bandwidth!r}")
+
+
+def expected_trends() -> list[Trend]:
+    """The figure's paper-claimed trends, checked against ``run()`` rows."""
+
+    def less_area(rows):
+        full = _design(rows, "BW", "Full Xbar")["area_mm2"]
+        hx = _design(rows, "BW", "H-Xbar")["area_mm2"]
+        reduction = 1 - hx / full
+        return (reduction >= 0.55,
+                f"area reduction vs full crossbar = {reduction:.0%} "
+                f"(paper: 62-79%)")
+
+    def equal_bw_ipc(rows):
+        # The model charges store-and-forward serialization per stage, so
+        # the two-stage H-Xbar trails the single-stage full crossbar by
+        # 10-17% even at paper scale (wormhole overlap would close it).
+        ipc = _design(rows, "BW", "H-Xbar")["norm_ipc"]
+        return ipc >= 0.80, f"H-Xbar@BW normalized IPC = {ipc:.3f}"
+
+    def narrower_saves_power(rows):
+        wide = _design(rows, "BW", "H-Xbar")["norm_power"]
+        narrow = _design(rows, "BW/8", "H-Xbar")["norm_power"]
+        return (narrow <= wide,
+                f"H-Xbar power: {narrow:.3f} @BW/8 vs {wide:.3f} @BW")
+
+    return [
+        Trend("hxbar_matches_full_in_less_area",
+              "Equal-bandwidth H-Xbar cuts active silicon by at least 55% "
+              "vs the full crossbar (paper: 62-79%)", less_area),
+        Trend("hxbar_keeps_ipc",
+              "Equal-bandwidth H-Xbar stays within 20% of full-crossbar "
+              "IPC (store-and-forward stage cost; see module docstring)",
+              equal_bw_ipc),
+        Trend("narrow_channels_save_power",
+              "Narrowing H-Xbar channels (BW/8) does not raise NoC power "
+              "over the BW design", narrower_saves_power),
+    ]
 
 #: (bandwidth label, [(name, topology, channel_bytes, concentration), ...])
 PAIRINGS = [
@@ -90,7 +144,7 @@ def run(scale: float = 1.0, workloads: list[str] | None = None,
 
 def main(scale: float = 1.0, campaign: Campaign | None = None) -> list[dict]:
     rows = run(scale, campaign=campaign)
-    print("Figure 7 — NoC design space (normalized to the full crossbar)")
+    print(TITLE)
     print_rows(rows)
     return rows
 

@@ -5,10 +5,50 @@ from __future__ import annotations
 
 from repro.experiments.campaign import Campaign, RunSpec
 from repro.experiments.runner import experiment_config, print_rows
+from repro.metrics.perf import geomean_speedup
+from repro.report.trends import Trend
 from repro.sim.stats import harmonic_mean
 from repro.workloads.catalog import CATEGORIES
 
 MODES = ["shared", "private", "adaptive"]
+
+TITLE = "Figure 11 — normalized IPC: shared vs private vs adaptive LLC"
+SLUG = "fig11"
+PAPER_CLAIM = ("The adaptive LLC tracks the better static organization on "
+               "every workload class, so its mean normalized IPC is at "
+               "least as high as either all-shared or all-private.")
+CHART = ("benchmark", ["shared_norm", "private_norm", "adaptive_norm"])
+
+
+def expected_trends() -> list[Trend]:
+    """The figure's paper-claimed trends, checked against ``run()`` rows."""
+
+    def beats_statics(rows):
+        bench = [r for r in rows if r["benchmark"] != "HM"]
+        adaptive = geomean_speedup([r["adaptive_norm"] for r in bench])
+        static = max(geomean_speedup([r["shared_norm"] for r in bench]),
+                     geomean_speedup([r["private_norm"] for r in bench]))
+        return (adaptive >= static - 0.02,
+                f"geomean: adaptive {adaptive:.3f} vs best static "
+                f"{static:.3f}")
+
+    def keeps_shared_friendly(rows):
+        for row in rows:
+            if row["benchmark"] == "HM" and row["category"] == "shared":
+                hm = row["adaptive_norm"]
+                return (hm >= 0.95,
+                        f"adaptive HM on shared-friendly apps = {hm:.3f} "
+                        f"(want >= 0.95)")
+        raise KeyError("no HM row for the shared category")
+
+    return [
+        Trend("adaptive_geq_best_static",
+              "Adaptive geomean normalized IPC >= max(static shared, "
+              "static private) geomean", beats_statics),
+        Trend("adaptive_keeps_shared_friendly",
+              "Adaptive does not give up the shared-friendly apps the way "
+              "static private does (HM >= 0.95)", keeps_shared_friendly),
+    ]
 
 
 def specs(scale: float = 1.0,
@@ -51,7 +91,7 @@ def run(scale: float = 1.0, categories: list[str] | None = None,
 
 def main(scale: float = 1.0, campaign: Campaign | None = None) -> list[dict]:
     rows = run(scale, campaign=campaign)
-    print("Figure 11 — normalized IPC: shared vs private vs adaptive LLC")
+    print(TITLE)
     print_rows(rows)
     return rows
 

@@ -5,10 +5,36 @@ from __future__ import annotations
 
 from repro.experiments.campaign import Campaign, RunSpec
 from repro.experiments.runner import experiment_config, print_rows
+from repro.report.trends import Trend, value_at_least
 from repro.sim.stats import harmonic_mean
 from repro.workloads.catalog import CATEGORIES
 
 MODES = ["shared", "private", "adaptive"]
+
+TITLE = "Figure 12 — LLC response rate (flits/cycle), private-friendly apps"
+SLUG = "fig12"
+PAPER_CLAIM = ("On private-cache-friendly workloads the private LLC "
+               "delivers a higher response rate than the shared LLC, and "
+               "the adaptive LLC captures (most of) that gain.")
+CHART = ("benchmark", ["shared_resp", "private_resp", "adaptive_resp"])
+
+
+def expected_trends() -> list[Trend]:
+    """The figure's paper-claimed trends, checked against ``run()`` rows.
+
+    The ``HM(ratio)`` summary row holds each mode's harmonic-mean response
+    rate *relative to shared*, so the shared column is identically 1.
+    """
+    return [
+        Trend("private_raises_response_rate",
+              "Private LLC response-rate ratio vs shared >= 1 (HM over "
+              "private-friendly apps)",
+              value_at_least("private_resp", 1.0, "benchmark", "HM(ratio)")),
+        Trend("adaptive_captures_gain",
+              "Adaptive LLC response-rate ratio vs shared >= 1 (HM over "
+              "private-friendly apps)",
+              value_at_least("adaptive_resp", 1.0, "benchmark", "HM(ratio)")),
+    ]
 
 
 def specs(scale: float = 1.0) -> list[RunSpec]:
@@ -42,7 +68,7 @@ def run(scale: float = 1.0, campaign: Campaign | None = None) -> list[dict]:
 
 def main(scale: float = 1.0, campaign: Campaign | None = None) -> list[dict]:
     rows = run(scale, campaign=campaign)
-    print("Figure 12 — LLC response rate (flits/cycle), private-friendly apps")
+    print(TITLE)
     print_rows(rows)
     return rows
 

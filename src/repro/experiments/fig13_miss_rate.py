@@ -6,9 +6,42 @@ from __future__ import annotations
 
 from repro.experiments.campaign import Campaign, RunSpec
 from repro.experiments.runner import experiment_config, print_rows
+from repro.report.trends import Trend, summary_row
 from repro.workloads.catalog import CATEGORIES
 
 MODES = ["shared", "private", "adaptive"]
+
+TITLE = "Figure 13 — LLC miss rate, shared-friendly apps"
+SLUG = "fig13"
+PAPER_CLAIM = ("Privatizing the LLC inflates the miss rate of "
+               "shared-cache-friendly workloads (paper: +27.9 pp average); "
+               "the adaptive LLC keeps it at the shared level.")
+CHART = ("benchmark", ["shared_miss", "private_miss", "adaptive_miss"])
+
+
+def expected_trends() -> list[Trend]:
+    """The figure's paper-claimed trends, checked against ``run()`` rows."""
+
+    def private_inflates(rows):
+        avg = summary_row(rows, "benchmark", "AVG")
+        delta = avg["private_miss"] - avg["shared_miss"]
+        return delta >= 0.0, f"AVG miss-rate delta private-shared = {delta:+.3f}"
+
+    def adaptive_tracks_shared(rows):
+        avg = summary_row(rows, "benchmark", "AVG")
+        delta = avg["adaptive_miss"] - avg["shared_miss"]
+        return (delta <= 0.02,
+                f"AVG miss-rate delta adaptive-shared = {delta:+.3f} "
+                f"(want <= +0.02)")
+
+    return [
+        Trend("private_inflates_miss_rate",
+              "Private LLC raises the average miss rate of shared-friendly "
+              "apps", private_inflates),
+        Trend("adaptive_stays_at_shared_level",
+              "Adaptive LLC keeps the average miss rate within 2 pp of the "
+              "shared LLC", adaptive_tracks_shared),
+    ]
 
 
 def specs(scale: float = 1.0) -> list[RunSpec]:
@@ -40,7 +73,7 @@ def run(scale: float = 1.0, campaign: Campaign | None = None) -> list[dict]:
 
 def main(scale: float = 1.0, campaign: Campaign | None = None) -> list[dict]:
     rows = run(scale, campaign=campaign)
-    print("Figure 13 — LLC miss rate, shared-friendly apps")
+    print(TITLE)
     print_rows(rows)
     return rows
 

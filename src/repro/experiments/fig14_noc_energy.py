@@ -6,7 +6,31 @@ from __future__ import annotations
 
 from repro.experiments.campaign import Campaign, RunSpec
 from repro.experiments.runner import experiment_config, print_rows
+from repro.report.trends import Trend, value_at_most
 from repro.workloads.catalog import CATEGORIES
+
+TITLE = ("Figure 14 — NoC energy (adaptive / shared), private-friendly + "
+         "neutral")
+SLUG = "fig14"
+PAPER_CLAIM = ("While private-capable workloads run, the adaptive LLC "
+               "short-circuits cluster-to-remote-slice traffic and gates "
+               "idle crossbar ports, cutting NoC energy without raising "
+               "total system energy.")
+CHART = ("benchmark", ["noc_norm", "system_norm"])
+
+
+def expected_trends() -> list[Trend]:
+    """The figure's paper-claimed trends, checked against ``run()`` rows."""
+    return [
+        Trend("adaptive_cuts_noc_energy",
+              "Average NoC energy under the adaptive LLC <= the shared "
+              "LLC's (normalized AVG <= 1)",
+              value_at_most("noc_norm", 1.0, "benchmark", "AVG")),
+        Trend("system_energy_not_worse",
+              "Average total system energy stays within 5% of the shared "
+              "baseline (paper: 6% savings at full scale)",
+              value_at_most("system_norm", 1.05, "benchmark", "AVG")),
+    ]
 
 
 def specs(scale: float = 1.0) -> list[RunSpec]:
@@ -61,7 +85,7 @@ def run(scale: float = 1.0, campaign: Campaign | None = None) -> list[dict]:
 
 def main(scale: float = 1.0, campaign: Campaign | None = None) -> list[dict]:
     rows = run(scale, campaign=campaign)
-    print("Figure 14 — NoC energy (adaptive / shared), private-friendly + neutral")
+    print(TITLE)
     print_rows(rows)
     return rows
 

@@ -11,7 +11,31 @@ from __future__ import annotations
 from repro.experiments.campaign import Campaign, RunSpec
 from repro.experiments.runner import experiment_config, print_rows
 from repro.metrics.perf import system_throughput
+from repro.report.trends import Trend, value_at_least
 from repro.workloads.multiprogram import all_shared_private_pairs
+
+TITLE = "Figure 15 — multi-program STP (sorted), shared vs adaptive LLC"
+SLUG = "fig15"
+PAPER_CLAIM = ("Co-running a shared-friendly with a private-friendly "
+               "program, the adaptive LLC raises system throughput over "
+               "the all-shared baseline by serving each program's half of "
+               "the clusters in its preferred organization.")
+CHART = ("pair", ["shared_stp", "adaptive_stp"])
+
+
+def expected_trends() -> list[Trend]:
+    """The figure's paper-claimed trends, checked against ``run()`` rows."""
+    return [
+        Trend("adaptive_at_least_cost_neutral",
+              "Per-program mode routing is at least cost-neutral on STP "
+              "(paper: +8%; scaled traces sit inside the noise floor, so "
+              "the floor is AVG gain >= 0.96)",
+              value_at_least("gain", 0.96, "pair", "AVG")),
+        Trend("stp_stays_healthy",
+              "Average adaptive STP stays in a healthy band (>= 0.8 of "
+              "two ideal programs)",
+              value_at_least("adaptive_stp", 0.8, "pair", "AVG")),
+    ]
 
 
 def specs(scale: float = 1.0,
@@ -60,7 +84,7 @@ def run(scale: float = 1.0, pairs: list[tuple[str, str]] | None = None,
 def main(scale: float = 1.0, pairs=None,
          campaign: Campaign | None = None) -> list[dict]:
     rows = run(scale, pairs, campaign=campaign)
-    print("Figure 15 — multi-program STP (sorted), shared vs adaptive LLC")
+    print(TITLE)
     print_rows(rows)
     return rows
 

@@ -12,10 +12,43 @@ from __future__ import annotations
 from repro.config import GPUConfig, NoCConfig
 from repro.experiments.campaign import Campaign, RunSpec
 from repro.experiments.runner import experiment_config, print_rows
+from repro.metrics.perf import geomean_speedup
+from repro.report.trends import Trend
 from repro.sim.stats import harmonic_mean
 from repro.workloads.catalog import CATEGORIES
 
 WORKLOADS = CATEGORIES["private"]
+
+TITLE = "Figure 16 — sensitivity of adaptive/shared HM speedup"
+SLUG = "fig16"
+PAPER_CLAIM = ("The adaptive LLC's gain over the shared baseline survives "
+               "changes to address mapping, NoC channel width, SM count, "
+               "L1 size, and CTA scheduling policy.")
+CHART = ("point", ["adaptive_over_shared"])
+
+
+def expected_trends() -> list[Trend]:
+    """The figure's paper-claimed trends, checked against ``run()`` rows."""
+
+    def gain_survives(rows):
+        gm = geomean_speedup([r["adaptive_over_shared"] for r in rows])
+        return gm >= 1.0, f"geomean over sensitivity points = {gm:.3f}"
+
+    def no_point_collapses(rows):
+        worst = min(rows, key=lambda r: r["adaptive_over_shared"])
+        value = worst["adaptive_over_shared"]
+        return (value >= 0.90,
+                f"worst point {worst['group']}/{worst['point']} = "
+                f"{value:.3f} (want >= 0.90)")
+
+    return [
+        Trend("gain_survives_sweep",
+              "Geomean adaptive/shared speedup over every sensitivity "
+              "point >= 1", gain_survives),
+        Trend("no_point_collapses",
+              "Adaptive never loses badly to shared at any design point "
+              "(every point >= 0.90)", no_point_collapses),
+    ]
 
 
 def sweep_configs(groups: list[str] | None = None
@@ -91,7 +124,7 @@ def run(scale: float = 1.0, workloads: list[str] | None = None,
 
 def main(scale: float = 1.0, campaign: Campaign | None = None) -> list[dict]:
     rows = run(scale, campaign=campaign)
-    print("Figure 16 — sensitivity of adaptive/shared HM speedup")
+    print(TITLE)
     print_rows(rows)
     return rows
 

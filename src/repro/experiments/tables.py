@@ -1,10 +1,70 @@
-"""Tables 1 and 2: the baseline configuration and the benchmark catalog."""
+"""Tables 1 and 2, plus row-table render backends for the report.
+
+:func:`table1_rows` / :func:`table2_rows` reproduce the paper's tables as
+row dicts; :func:`rows_to_markdown` / :func:`rows_to_html` turn any
+driver's row dicts into Markdown / HTML tables (the report subsystem's
+"raw data" blocks use them for every figure page).
+"""
 
 from __future__ import annotations
+
+import html as _html
 
 from repro.config import GPUConfig
 from repro.experiments.runner import print_rows
 from repro.workloads.catalog import BENCHMARKS, CATEGORIES
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return "" if value is None else str(value)
+
+
+def rows_to_markdown(rows: list[dict],
+                     columns: list[str] | None = None) -> str:
+    """Render row dicts as a GitHub-flavored Markdown table.
+
+    Args:
+        rows: list of row dicts (floats are formatted to three decimals).
+        columns: column order; defaults to the first row's key order.
+
+    Returns:
+        The table as a string, or ``"(no rows)"`` for an empty list.
+    """
+    if not rows:
+        return "(no rows)"
+    columns = columns or list(rows[0].keys())
+    lines = ["| " + " | ".join(columns) + " |",
+             "|" + "|".join("---" for _ in columns) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(_cell(row.get(c)) for c in columns)
+                     + " |")
+    return "\n".join(lines)
+
+
+def rows_to_html(rows: list[dict],
+                 columns: list[str] | None = None) -> str:
+    """Render row dicts as an HTML ``<table>`` (values are escaped).
+
+    Args:
+        rows: list of row dicts (floats are formatted to three decimals).
+        columns: column order; defaults to the first row's key order.
+
+    Returns:
+        The table markup, or a placeholder paragraph for an empty list.
+    """
+    if not rows:
+        return "<p>(no rows)</p>"
+    columns = columns or list(rows[0].keys())
+    head = "".join(f"<th>{_html.escape(c)}</th>" for c in columns)
+    body = []
+    for row in rows:
+        cells = "".join(f"<td>{_html.escape(_cell(row.get(c)))}</td>"
+                        for c in columns)
+        body.append(f"<tr>{cells}</tr>")
+    return (f"<table><thead><tr>{head}</tr></thead>"
+            f"<tbody>{''.join(body)}</tbody></table>")
 
 _CLASS_LABEL = {"shared": "shared", "private": "private", "neutral": "neutral"}
 

@@ -1,4 +1,13 @@
-"""GPU substrate: SMs, clusters, CTA scheduling, and the assembled system."""
+"""GPU substrate: SMs, clusters, CTA scheduling, and the assembled system.
+
+* :mod:`repro.gpu.sm` — streaming multiprocessors issuing L1-filtered
+  memory traffic;
+* :mod:`repro.gpu.cta` — CTA-to-SM assignment policies (two-level RR,
+  BCS, DCS);
+* :mod:`repro.gpu.system` — :class:`~repro.gpu.system.GPUSystem`, which
+  wires SMs, NoC, LLC slices and memory controllers onto one event engine
+  and harvests a :class:`~repro.gpu.system.RunResult`.
+"""
 
 from repro.gpu.cta import assign_ctas
 from repro.gpu.sm import StreamingMultiprocessor

@@ -1,7 +1,15 @@
-"""Performance metrics and characterization analyses."""
+"""Performance metrics and characterization analyses.
+
+* :mod:`repro.metrics.perf` — summary metrics the drivers and trend checks
+  share: normalized performance, multi-program STP, HM/geomean speedup
+  summaries;
+* :mod:`repro.metrics.locality` — the inter-cluster locality tracker behind
+  Figure 3's sharing histograms.
+"""
 
 from repro.metrics.locality import InterClusterLocalityTracker
 from repro.metrics.perf import (
+    geomean_speedup,
     normalized_performance,
     system_throughput,
     speedup_summary,
@@ -9,6 +17,7 @@ from repro.metrics.perf import (
 
 __all__ = [
     "InterClusterLocalityTracker",
+    "geomean_speedup",
     "normalized_performance",
     "system_throughput",
     "speedup_summary",

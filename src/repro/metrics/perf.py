@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-from repro.sim.stats import harmonic_mean
+from repro.sim.stats import geometric_mean, harmonic_mean
 
 
 def normalized_performance(ipc: float, baseline_ipc: float) -> float:
@@ -33,3 +33,24 @@ def speedup_summary(speedups: Mapping[str, float]) -> dict[str, float]:
     out = dict(speedups)
     out["HM"] = harmonic_mean(list(speedups.values()))
     return out
+
+
+def geomean_speedup(speedups: Sequence[float]) -> float:
+    """Geometric-mean summary of per-point speedups.
+
+    Drops NaN entries first (drivers stash NaN in summary-row slots), so
+    trend checks can feed whole row columns without pre-filtering.
+
+    Args:
+        speedups: per-benchmark or per-config speedup ratios.
+
+    Returns:
+        The geometric mean of the finite entries.
+
+    Raises:
+        ValueError: if no finite entries remain.
+    """
+    finite = [s for s in speedups if s == s]
+    if not finite:
+        raise ValueError("geomean_speedup needs at least one finite value")
+    return geometric_mean(finite)

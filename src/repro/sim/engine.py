@@ -44,7 +44,17 @@ class Event:
 
 
 class Engine:
-    """Discrete-event simulation engine.
+    """Discrete-event simulation engine: a time-ordered event heap.
+
+    Every simulated component schedules callbacks on one shared engine;
+    ``now`` is the single source of simulation time.  Cancelled events are
+    skipped on pop and the heap self-compacts when they dominate, so bulk
+    cancellation (the adaptive controller cancels whole epochs of
+    profiling events) stays cheap.
+
+    Attributes:
+        now: current simulation time in GPU core cycles (float; servers
+            hand out sub-cycle completion times).
 
     Usage::
 
@@ -66,7 +76,18 @@ class Engine:
 
     # ------------------------------------------------------------ schedule
     def schedule(self, time: float, fn: Callable[[], None]) -> Event:
-        """Schedule ``fn`` to run at absolute ``time`` (>= now)."""
+        """Schedule ``fn`` to run at absolute ``time``.
+
+        Args:
+            time: absolute firing time; must be >= ``now``.
+            fn: zero-argument callback.
+
+        Returns:
+            The queued :class:`Event` (keep it to :meth:`Event.cancel`).
+
+        Raises:
+            ValueError: if ``time`` lies in the past.
+        """
         if time < self.now:
             raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
         ev = Event(time, self._seq, fn, engine=self)
@@ -96,16 +117,34 @@ class Engine:
         self._cancelled = 0
 
     def schedule_after(self, delay: float, fn: Callable[[], None]) -> Event:
-        """Schedule ``fn`` to run ``delay`` cycles from now."""
+        """Schedule ``fn`` to run ``delay`` cycles from now.
+
+        Args:
+            delay: non-negative offset from ``now``.
+            fn: zero-argument callback.
+
+        Returns:
+            The queued :class:`Event`.
+
+        Raises:
+            ValueError: if ``delay`` is negative.
+        """
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
         return self.schedule(self.now + delay, fn)
 
     # ----------------------------------------------------------------- run
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
-        """Process events until the queue drains, ``until`` is reached, or
-        ``max_events`` have fired.  ``self.now`` advances to the time of the
-        last processed event (or ``until`` when the horizon cuts first)."""
+        """Process events until the queue drains or a limit is hit.
+
+        Args:
+            until: stop (and advance ``now`` to this horizon) before firing
+                any event scheduled later than it.
+            max_events: fire at most this many events in this call.
+
+        ``self.now`` advances to the time of the last processed event (or
+        ``until`` when the horizon cuts first).
+        """
         heap = self._heap
         processed = 0
         while heap:
@@ -137,6 +176,7 @@ class Engine:
 
     @property
     def events_processed(self) -> int:
+        """Total events fired over the engine's lifetime (all runs)."""
         return self._events_processed
 
     def drained(self) -> bool:

@@ -1,4 +1,14 @@
-"""Synthetic GPU workloads reproducing the paper's benchmark suite (Table 2)."""
+"""Synthetic GPU workloads reproducing the paper's benchmark suite (Table 2).
+
+* :mod:`repro.workloads.catalog` — the 17-benchmark suite with per-category
+  parameters (footprint, sharing, kernel count);
+* :mod:`repro.workloads.patterns` / :mod:`repro.workloads.generator` —
+  CRC32-seeded access-stream primitives and the trace generator
+  (deterministic, which is what makes campaign caching sound);
+* :mod:`repro.workloads.multiprogram` — two-program mixes for Figure 15;
+* :mod:`repro.workloads.analysis` / :mod:`repro.workloads.serialization`
+  — trace characterization and on-disk trace round-tripping.
+"""
 
 from repro.workloads.trace import CTAStream, KernelTrace, Workload
 from repro.workloads.patterns import (

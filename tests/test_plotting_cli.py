@@ -1,9 +1,16 @@
-"""Tests for terminal plotting and the CLI."""
+"""Tests for terminal plotting, file render backends, and the CLI."""
 
 import pytest
 
 from repro.cli import build_parser, main
-from repro.experiments.plotting import bar_chart, grouped_chart, hbar
+from repro.experiments import plotting
+from repro.experiments.plotting import (
+    bar_chart,
+    grouped_chart,
+    hbar,
+    render_chart_file,
+)
+from repro.experiments.tables import rows_to_html, rows_to_markdown
 
 
 # ---------------------------------------------------------------- plotting
@@ -36,6 +43,34 @@ def test_grouped_chart_skips_nan():
     out = grouped_chart(rows, "b", ["a_norm", "b_norm"])
     assert "a_norm" in out
     assert "b_norm" not in out
+
+
+# ----------------------------------------------------------- file backends
+def test_render_chart_file_text_fallback(tmp_path, monkeypatch):
+    """Without matplotlib the backend degrades to a text chart file."""
+    monkeypatch.setattr(plotting, "matplotlib_module", lambda: None)
+    rows = [{"b": "VA", "ipc": 1.2}, {"b": "MM", "ipc": 0.8}]
+    path = render_chart_file(rows, "b", ["ipc"], "demo",
+                             str(tmp_path / "chart"))
+    assert path.endswith("chart.txt")
+    text = open(path, encoding="utf-8").read()
+    assert "demo" in text and "VA" in text and "1.200" in text
+
+
+def test_rows_to_markdown_and_html():
+    rows = [{"b": "VA", "ipc": 1.23456, "note": None}]
+    md = rows_to_markdown(rows)
+    assert md.splitlines()[0] == "| b | ipc | note |"
+    assert "| VA | 1.235 |  |" in md
+    html = rows_to_html(rows)
+    assert "<th>ipc</th>" in html and "<td>1.235</td>" in html
+    assert rows_to_markdown([]) == "(no rows)"
+    assert rows_to_html([]) == "<p>(no rows)</p>"
+
+
+def test_rows_to_html_escapes():
+    html = rows_to_html([{"k": "<script>"}])
+    assert "<script>" not in html and "&lt;script&gt;" in html
 
 
 # --------------------------------------------------------------------- CLI

@@ -1,0 +1,41 @@
+"""Simulator hot-path throughput: events/sec per LLC policy.
+
+Unlike the figure benchmarks (which regenerate paper *results*), this one
+times the simulator *itself* — the fig11-style shared/private/adaptive
+scenarios that dominate every campaign — and checks the measured events/sec
+against the committed baseline so a hot-path regression fails loudly.
+
+Run under pytest-benchmark (``pytest benchmarks/bench_hotpath.py
+--benchmark-only -s``) or standalone (``python benchmarks/bench_hotpath.py``,
+which also rewrites ``BENCH_hotpath.json`` at the repo root).  The CLI verb
+``repro bench`` is the same measurement with flags.
+"""
+
+import os
+
+from repro.bench import MODES, run_bench, write_bench
+from repro.experiments.runner import print_rows
+
+SCALE = 0.25  # the "medium" preset: the campaign's day-to-day scale
+
+
+def test_hotpath_throughput(once):
+    data = once(run_bench, SCALE)
+    print("\nHot path — simulator throughput per LLC policy")
+    print_rows([{"scenario": m, **data[m]} for m in MODES])
+    for mode in MODES:
+        assert data[mode]["events"] > 0
+        assert data[mode]["events_per_sec"] > 0
+
+
+def main() -> None:
+    data = run_bench(SCALE)
+    print_rows([{"scenario": m, **data[m]} for m in MODES])
+    out = os.path.join(os.path.dirname(__file__), os.pardir,
+                       "BENCH_hotpath.json")
+    write_bench(os.path.normpath(out), data)
+    print(f"wrote {os.path.normpath(out)}")
+
+
+if __name__ == "__main__":
+    main()

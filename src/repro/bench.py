@@ -1,0 +1,141 @@
+"""Hot-path benchmark: measured simulator throughput over paper scenarios.
+
+The ROADMAP's north star is a simulator that "runs as fast as the hardware
+allows" — this module is how that is *measured* rather than assumed.  It
+times fig11-style runs (one benchmark under the shared, private, and
+adaptive LLC policies) and reports wall time, engine events, and events/sec
+per scenario, then writes the record to ``BENCH_hotpath.json`` so every PR
+has a perf trajectory to beat.
+
+Schema of the written file::
+
+    {
+      "<scenario>": {"wall_s": float, "events": int,
+                      "events_per_sec": float, "cycles": float},
+      ...,
+      "_meta": {"benchmark": str, "scale": float, "repeat": int,
+                 "python": str, "platform": str}
+    }
+
+Scenario keys are the LLC policy names.  ``_meta`` is advisory; comparison
+tooling (:func:`compare_bench`) looks only at the scenario entries.
+
+Timing methodology: each scenario builds the workload and system outside
+the timed region (trace generation is setup, not simulation), times only
+:meth:`~repro.gpu.system.GPUSystem.run`, and keeps the best of ``repeat``
+attempts (minimum wall time — the least-noise estimator for a
+deterministic computation).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from typing import Optional, Sequence
+
+MODES = ("shared", "private", "adaptive")
+
+#: Default benchmark: VA is a neutral streaming workload whose adaptive run
+#: exercises profiling epochs, transitions, and both organizations.
+DEFAULT_BENCHMARK = "VA"
+
+
+def bench_scenario(abbr: str, mode: str, scale: float,
+                   repeat: int = 1) -> dict:
+    """Time one ``benchmark/mode`` simulation; returns a schema row."""
+    from repro.experiments.runner import _accesses_for, experiment_config
+    from repro.gpu.system import GPUSystem
+    from repro.workloads.catalog import benchmark
+    from repro.workloads.generator import generate_workload
+
+    cfg = experiment_config()
+    # The workload is seeded and deterministic: generate it once and rebuild
+    # only the simulated system per timing attempt (kernel loading copies
+    # the access streams, so runs never mutate the trace).
+    workload = generate_workload(benchmark(abbr),
+                                 num_ctas=2 * cfg.num_sms,
+                                 total_accesses=_accesses_for(abbr, scale),
+                                 max_kernels=3)
+    best: Optional[dict] = None
+    for _ in range(max(1, repeat)):
+        system = GPUSystem(cfg, workload, mode=mode)
+        t0 = time.perf_counter()
+        result = system.run()
+        wall = time.perf_counter() - t0
+        events = system.engine.events_processed
+        row = {
+            "wall_s": wall,
+            "events": events,
+            "events_per_sec": events / wall if wall > 0 else 0.0,
+            "cycles": result.cycles,
+        }
+        if best is None or row["wall_s"] < best["wall_s"]:
+            best = row
+    return best
+
+
+def run_bench(scale: float, benchmark_abbr: str = DEFAULT_BENCHMARK,
+              modes: Sequence[str] = MODES, repeat: int = 1) -> dict:
+    """Run every scenario; returns the full ``BENCH_hotpath.json`` payload."""
+    out: dict = {}
+    for mode in modes:
+        out[mode] = bench_scenario(benchmark_abbr, mode, scale, repeat)
+    out["_meta"] = {
+        "benchmark": benchmark_abbr,
+        "scale": scale,
+        "repeat": repeat,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+    }
+    return out
+
+
+def write_bench(path: str, data: dict) -> None:
+    """Write the benchmark record as stable, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def load_bench(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def compare_bench(current: dict, baseline: dict,
+                  max_regress: float = 0.30) -> list[str]:
+    """Regression check: events/sec per scenario against a baseline record.
+
+    Args:
+        current: freshly measured payload (:func:`run_bench` shape).
+        baseline: previously committed payload.
+        max_regress: allowed fractional slowdown (0.30 = current may be up
+            to 30% slower before it counts as a regression — headroom for
+            machine-to-machine and CI-runner variance).
+
+    Returns:
+        Human-readable failure strings, empty when everything holds.
+        Scenarios present only on one side are reported as failures (a
+        silently dropped scenario would otherwise pass forever).
+    """
+    failures = []
+    for scenario, base_row in baseline.items():
+        if scenario.startswith("_"):
+            continue
+        cur_row = current.get(scenario)
+        if cur_row is None:
+            failures.append(f"{scenario}: missing from current run")
+            continue
+        base_eps = base_row["events_per_sec"]
+        cur_eps = cur_row["events_per_sec"]
+        floor = base_eps * (1.0 - max_regress)
+        if cur_eps < floor:
+            failures.append(
+                f"{scenario}: {cur_eps:,.0f} events/s is more than "
+                f"{max_regress:.0%} below baseline {base_eps:,.0f}")
+    for scenario in current:
+        if not scenario.startswith("_") and scenario not in baseline:
+            failures.append(f"{scenario}: not present in baseline")
+    return failures

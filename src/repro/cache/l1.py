@@ -41,6 +41,21 @@ class L1Cache:
         so that deferred issues do not mutate cache state early."""
         return self._store.probe(line_key)
 
+    def lookup_read(self, line_key: int) -> bool:
+        """Single-lookup read: commit the hit (stats + recency) when the
+        line is resident, touch *nothing* on a miss.
+
+        This folds the hot-path ``probe`` + ``access`` pair into one set
+        scan.  The asymmetry is deliberate: an L1 hit is consumed eagerly at
+        the SM, but a miss must stay side-effect-free because the issue may
+        still be deferred to a later slot — the miss is counted at the
+        NoC-issue point via :meth:`record_read_miss` and the line installed
+        at fill time via :meth:`fill`."""
+        if self._store.access_if_hit(line_key):
+            self.read_hits += 1
+            return True
+        return False
+
     def access(self, line_key: int, is_write: bool) -> bool:
         """Returns True on hit.  Writes are write-through: they always
         propagate downstream, so callers must send write traffic to the LLC

@@ -50,6 +50,10 @@ class LLCSlice:
         self.tag_port = BandwidthServer(f"llc{slice_id}.tag")
         self.data_port = BandwidthServer(f"llc{slice_id}.data")
         self.line_flits = line_flits
+        #: float mirror of ``line_flits``: the bandwidth servers take float
+        #: occupancies, and converting once here keeps the per-access path
+        #: free of ``float()`` calls.
+        self._line_flits_f = float(line_flits)
         self.latency = latency
         self.write_through = False
         # stats
@@ -99,7 +103,7 @@ class LLCSlice:
             else:
                 self.write_misses += 1
             # Absorb the incoming data flits at the data port.
-            port_done = self.data_port.enqueue(tag_done, float(self.line_flits))
+            port_done = self.data_port.enqueue(tag_done, self._line_flits_f)
             if wt:
                 dram_write = True
                 self.dram_writes += 1
@@ -107,7 +111,7 @@ class LLCSlice:
 
         if res.hit:
             self.read_hits += 1
-            exit_time = self.data_port.enqueue(tag_done, float(self.line_flits))
+            exit_time = self.data_port.enqueue(tag_done, self._line_flits_f)
             self.response_flits += self.line_flits + 1  # body + head flit
             return True, exit_time + self.latency, writeback_key, False
 
@@ -117,7 +121,7 @@ class LLCSlice:
     def fill_response(self, dram_done: float) -> float:
         """Stream a DRAM fill through the data port toward the requester.
         Returns the tail-flit exit time (before reply-network traversal)."""
-        exit_time = self.data_port.enqueue(dram_done, float(self.line_flits))
+        exit_time = self.data_port.enqueue(dram_done, self._line_flits_f)
         self.response_flits += self.line_flits + 1
         return exit_time
 

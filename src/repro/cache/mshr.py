@@ -48,15 +48,32 @@ class MSHRFile:
     def lookup(self, key: int) -> Optional[MSHREntry]:
         return self._entries.get(key)
 
+    def note_stall(self) -> None:
+        """Record one front-end stall on a full MSHR file.
+
+        Stall accounting lives with the *caller* (the stall site): the SM
+        front end checks :attr:`full` and parks without ever calling
+        :meth:`allocate`, so counting inside ``allocate`` would leave the
+        stat permanently at zero in real runs."""
+        self.stalls += 1
+
     # ------------------------------------------------------------- updates
     def allocate(self, key: int, now: float) -> Optional[MSHREntry]:
-        """Allocate an entry for a primary miss.  Returns None when full
-        (caller must stall).  Raises if the key is already outstanding —
-        use :meth:`merge` for secondary misses."""
+        """Allocate an entry for a primary miss.
+
+        Returns the new :class:`MSHREntry`, or None when the file is full —
+        the caller must stall *and* account for it via :meth:`note_stall`
+        (allocate itself never touches :attr:`stalls`, so callers that
+        pre-check :attr:`full` and never reach this point are counted the
+        same as callers that rely on the None return).
+
+        Raises:
+            KeyError: if the key is already outstanding — secondary misses
+                must :meth:`merge` instead.
+        """
         if key in self._entries:
             raise KeyError(f"line {key:#x} already has an MSHR entry")
         if self.full:
-            self.stalls += 1
             return None
         entry = MSHREntry(key, now)
         self._entries[key] = entry

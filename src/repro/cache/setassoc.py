@@ -15,18 +15,26 @@ from typing import Optional
 from repro.cache.replacement import make_policy
 
 
-@dataclass
+@dataclass(frozen=True)
 class AccessResult:
     """Outcome of a cache access.
 
     ``evicted_key``/``evicted_dirty`` describe the victim when an allocation
-    displaced a valid line (None/False otherwise).
+    displaced a valid line (None/False otherwise).  Instances are immutable;
+    the outcome shapes that carry no victim information are shared
+    singletons (``_HIT``, ``_MISS_BYPASS``, ``_MISS_CLEAN``) so the hot
+    paths allocate nothing.
     """
 
     hit: bool
     allocated: bool = False
     evicted_key: Optional[int] = None
     evicted_dirty: bool = False
+
+
+_HIT = AccessResult(hit=True)
+_MISS_BYPASS = AccessResult(hit=False, allocated=False)
+_MISS_CLEAN = AccessResult(hit=False, allocated=True)
 
 
 class _Line:
@@ -82,12 +90,27 @@ class SetAssocCache:
     # ------------------------------------------------------------- access
     def probe(self, key: int) -> bool:
         """Non-intrusive lookup: no stats, no recency update, no fill."""
-        lines = self._sets[self.set_index(key)]
+        lines = self._sets[(key >> self.index_shift) % self.num_sets]
         return any(ln.valid and ln.key == key for ln in lines)
+
+    def access_if_hit(self, key: int) -> bool:
+        """One-scan read lookup: on hit, count it and update recency (like
+        :meth:`access`); on miss, mutate nothing — not even the miss
+        counter (like :meth:`probe`).  Returns the hit outcome.
+
+        Callers that defer allocation to fill time (the L1 front end) use
+        this to collapse their probe-then-access double scan."""
+        set_idx = (key >> self.index_shift) % self.num_sets
+        for way, ln in enumerate(self._sets[set_idx]):
+            if ln.valid and ln.key == key:
+                self.hits += 1
+                self._policies[set_idx].on_access(way)
+                return True
+        return False
 
     def access(self, key: int, is_write: bool = False) -> AccessResult:
         """Lookup + (on miss) allocate.  Updates stats and recency."""
-        set_idx = self.set_index(key)
+        set_idx = (key >> self.index_shift) % self.num_sets
         lines = self._sets[set_idx]
         policy = self._policies[set_idx]
 
@@ -97,35 +120,37 @@ class SetAssocCache:
                 policy.on_access(way)
                 if is_write:
                     ln.dirty = True
-                return AccessResult(hit=True)
+                return _HIT
 
         self.misses += 1
         if is_write and not self.allocate_on_write:
-            return AccessResult(hit=False, allocated=False)
+            return _MISS_BYPASS
 
         # Allocate: prefer an invalid way, otherwise ask the policy.
         victim_way = next((w for w, ln in enumerate(lines) if not ln.valid), None)
         if victim_way is None:
             victim_way = policy.victim()
         victim = lines[victim_way]
-        evicted_key = victim.key if victim.valid else None
-        evicted_dirty = victim.dirty if victim.valid else False
         if victim.valid:
             self.evictions += 1
             if victim.dirty:
                 self.writebacks += 1
+            result = AccessResult(hit=False, allocated=True,
+                                  evicted_key=victim.key,
+                                  evicted_dirty=victim.dirty)
+        else:
+            result = _MISS_CLEAN
         victim.key = key
         victim.valid = True
         victim.dirty = bool(is_write)
         policy.on_access(victim_way)
-        return AccessResult(hit=False, allocated=True,
-                            evicted_key=evicted_key, evicted_dirty=evicted_dirty)
+        return result
 
     def insert(self, key: int, dirty: bool = False) -> AccessResult:
         """Fill ``key`` without touching hit/miss statistics (used when the
         allocation happens at data-return time and the miss was already
         counted at request time).  No-op when the key is already resident."""
-        set_idx = self.set_index(key)
+        set_idx = (key >> self.index_shift) % self.num_sets
         lines = self._sets[set_idx]
         policy = self._policies[set_idx]
         for way, ln in enumerate(lines):
@@ -133,23 +158,25 @@ class SetAssocCache:
                 policy.on_access(way)
                 if dirty:
                     ln.dirty = True
-                return AccessResult(hit=True)
+                return _HIT
         victim_way = next((w for w, ln in enumerate(lines) if not ln.valid), None)
         if victim_way is None:
             victim_way = policy.victim()
         victim = lines[victim_way]
-        evicted_key = victim.key if victim.valid else None
-        evicted_dirty = victim.dirty if victim.valid else False
         if victim.valid:
             self.evictions += 1
             if victim.dirty:
                 self.writebacks += 1
+            result = AccessResult(hit=False, allocated=True,
+                                  evicted_key=victim.key,
+                                  evicted_dirty=victim.dirty)
+        else:
+            result = _MISS_CLEAN
         victim.key = key
         victim.valid = True
         victim.dirty = dirty
         policy.on_access(victim_way)
-        return AccessResult(hit=False, allocated=True,
-                            evicted_key=evicted_key, evicted_dirty=evicted_dirty)
+        return result
 
     # --------------------------------------------------------- management
     def invalidate(self, key: int) -> bool:

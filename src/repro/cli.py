@@ -3,6 +3,7 @@
 Commands
 --------
 ``run``        simulate one benchmark under one LLC policy
+``bench``      time the simulator hot path and write BENCH_hotpath.json
 ``compare``    one benchmark under all three policies, side by side
 ``figure``     regenerate a paper figure (2, 3, 7, 11, 12, 13, 14, 15, 16)
                or every figure at once (``figure all``)
@@ -85,6 +86,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.mode == "adaptive":
         print(f"  adaptive: {res.transitions} transitions, "
               f"{res.time_in_private / res.cycles:.0%} time private")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (compare_bench, load_bench, run_bench,
+                             write_bench)
+
+    data = run_bench(args.scale, benchmark_abbr=args.benchmark,
+                     repeat=args.repeat)
+    rows = [{"scenario": mode, **data[mode]}
+            for mode in data if not mode.startswith("_")]
+    print_rows(rows)
+    write_bench(args.out, data)
+    print(f"[bench] wrote {args.out}")
+    if args.baseline:
+        failures = compare_bench(data, load_bench(args.baseline),
+                                 max_regress=args.max_regress)
+        if failures:
+            for failure in failures:
+                print(f"error: perf regression — {failure}", file=sys.stderr)
+            return 1
+        print(f"[bench] within {args.max_regress:.0%} of {args.baseline}")
     return 0
 
 
@@ -309,6 +332,27 @@ def build_parser() -> argparse.ArgumentParser:
                             "(smoke/small/medium/paper)")
     _add_campaign_flags(p_run)
     p_run.set_defaults(fn=_cmd_run)
+
+    p_bench = sub.add_parser("bench", help="time the simulator hot path "
+                                           "(events/sec per LLC policy)")
+    p_bench.add_argument("--benchmark", default="VA", choices=ALL_ABBRS,
+                         help="workload to time (default: VA)")
+    p_bench.add_argument("--scale", type=parse_scale, default=0.25,
+                         metavar="S",
+                         help="trace scale: float or preset "
+                              "(smoke/small/medium/paper); default medium")
+    p_bench.add_argument("--repeat", type=int, default=1, metavar="N",
+                         help="timing attempts per scenario (best is kept)")
+    p_bench.add_argument("--out", default="BENCH_hotpath.json", metavar="FILE",
+                         help="output record (default: BENCH_hotpath.json)")
+    p_bench.add_argument("--baseline", default=None, metavar="FILE",
+                         help="compare events/sec against this committed "
+                              "record and fail on regression")
+    p_bench.add_argument("--max-regress", type=float, default=0.30,
+                         metavar="F",
+                         help="allowed fractional slowdown vs the baseline "
+                              "(default: 0.30)")
+    p_bench.set_defaults(fn=_cmd_bench)
 
     p_cmp = sub.add_parser("compare", help="all three LLC policies")
     p_cmp.add_argument("benchmark", choices=ALL_ABBRS)

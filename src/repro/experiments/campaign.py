@@ -151,10 +151,38 @@ def execute_spec(spec: RunSpec) -> RunResult:
                          with_energy=spec.with_energy)
 
 
+class SpecExecutionError(RuntimeError):
+    """A :class:`RunSpec` raised while executing.
+
+    Wraps the original exception with the spec's :meth:`~RunSpec.label` so a
+    failure inside a multiprocessing worker names which simulation died
+    instead of surfacing a bare traceback.  The first constructor argument
+    is the full message (exceptions unpickle via ``cls(*args)``, so the
+    signature must round-trip across the pool boundary).
+    """
+
+    def __init__(self, message: str, label: str = ""):
+        super().__init__(message)
+        self.label = label
+
+
+def _execute_spec_labeled(spec: RunSpec) -> dict:
+    """Run a spec, attaching its label to any failure."""
+    try:
+        return execute_spec(spec).to_dict()
+    except SpecExecutionError:
+        raise
+    except Exception as exc:
+        label = spec.label()
+        raise SpecExecutionError(
+            f"run spec {label} failed: {type(exc).__name__}: {exc}",
+            label) from exc
+
+
 def _pool_worker(payload: dict) -> tuple[str, dict]:
     """Module-level so it pickles under every multiprocessing start method."""
     spec = RunSpec.from_dict(payload)
-    return spec.cache_key(), execute_spec(spec).to_dict()
+    return spec.cache_key(), _execute_spec_labeled(spec)
 
 
 class Campaign:
@@ -216,9 +244,12 @@ class Campaign:
             todo[key] = spec
         if not todo:
             return
+        # A failing spec raises SpecExecutionError naming its label; specs
+        # finished before the failure stay memoized (and cached on disk), so
+        # a retried campaign resumes instead of starting over.
         if self.jobs == 1 or len(todo) == 1:
             for key, spec in todo.items():
-                self._finish(key, spec, execute_spec(spec).to_dict())
+                self._finish(key, spec, _execute_spec_labeled(spec))
             return
         # Fork-based workers inherit the imported simulator for free on
         # POSIX; spawn re-imports it, which is still correct, just slower.

@@ -103,6 +103,10 @@ class StreamingMultiprocessor:
         self.instrs_per_access = 4.0
         self.next_issue_time = 0.0
         self.wake_scheduled = False
+        # Instant the front end last parked on a full MSHR file (-1.0 when
+        # not parked).  The system uses it to coalesce same-instant wakeups
+        # that provably cannot unblock the SM (see GPUSystem._on_write_retired).
+        self.mshr_blocked_at = -1.0
         self.program_id = 0
         # Lifetime stats.
         self.retired_instructions = 0.0
@@ -141,6 +145,7 @@ class StreamingMultiprocessor:
                               1e-6)
         self.instrs_per_access = instrs_per_access
         self.next_issue_time = now
+        self.mshr_blocked_at = -1.0
 
     # -------------------------------------------------------------- status
     @property

@@ -24,7 +24,7 @@ from typing import Optional
 
 from repro.config import GPUConfig
 from repro.core.controller import AdaptiveController
-from repro.core.modes import LLCMode, target_slice
+from repro.core.modes import LLCMode
 from repro.core.reconfig import ReconfigCost
 from repro.gpu.cta import assign_ctas
 from repro.gpu.sm import StreamingMultiprocessor
@@ -147,6 +147,32 @@ class RunResult:
         return cls(**kwargs)
 
 
+class Request:
+    """One in-flight memory request threading through the LLC pipeline.
+
+    Carries ``(sm, key, mc, slice_local, slice_global)`` from issue to fill
+    so the stage methods (:meth:`GPUSystem._read_at_slice`,
+    :meth:`GPUSystem._fill_at_slice`, :meth:`GPUSystem._launch_reply`,
+    :meth:`GPUSystem._on_fill`, :meth:`GPUSystem._write_at_slice`) can be
+    scheduled directly as bound-method callbacks via
+    :meth:`~repro.sim.engine.Engine.schedule_call` — no closure is allocated
+    per pipeline hop.  Requests are pooled by the owning :class:`GPUSystem`
+    (preallocated at construction, recycled at end of life), so steady-state
+    traffic allocates nothing per L1 miss.
+    """
+
+    __slots__ = ("sm", "key", "mc", "slice_local", "slice_global")
+
+    def __init__(self, sm: Optional[StreamingMultiprocessor] = None,
+                 key: int = -1, mc: int = -1, slice_local: int = -1,
+                 slice_global: int = -1):
+        self.sm = sm
+        self.key = key
+        self.mc = mc
+        self.slice_local = slice_local
+        self.slice_global = slice_global
+
+
 class _ProgramContext:
     """One co-running application: its workload, SMs, and controller."""
 
@@ -204,7 +230,18 @@ class GPUSystem:
         self.locality = (InterClusterLocalityTracker(locality_window,
                                                      weighted=True)
                          if collect_locality else None)
-
+        # Request pool: enough for every SM to max out its MSHRs and store
+        # buffer simultaneously; recycled objects cover transient overshoot.
+        self._req_pool: list[Request] = [
+            Request() for _ in range(cfg.num_sms
+                                     * (cfg.max_outstanding_misses + 16))
+        ]
+        # Route memoization: the mapping hash is a pure function of the line
+        # key, and hot lines are re-requested constantly (that is the
+        # paper's whole premise), so cache (mc, slice_local) per key for
+        # shared routing and mc per key for private routing.
+        self._shared_route: dict[int, tuple[int, int]] = {}
+        self._mc_of: dict[int, int] = {}
         self.programs = self._build_programs(workload)
         self._configure_mode()
 
@@ -265,6 +302,10 @@ class GPUSystem:
         self.global_stall_until = until
         for sm in self.sms:
             sm.stall_until(until)
+            # The stall moves the SM's next issue opportunity, so a drain
+            # that parked on a full MSHR this instant is no longer provably
+            # redundant to replay — drop the wake-coalescing marker.
+            sm.mshr_blocked_at = -1.0
 
     # ----------------------------------------------------------------- run
     def run(self, max_cycles: Optional[float] = None) -> RunResult:
@@ -299,8 +340,8 @@ class GPUSystem:
             if sm.live_accesses:
                 self._sm_kernel_done[sm_id] = False
                 prog.pending_sms += 1
-                self.engine.schedule(max(now, sm.next_issue_time),
-                                     lambda s=sm: self._sm_wake(s))
+                self.engine.schedule_call(max(now, sm.next_issue_time),
+                                          self._sm_wake, sm)
             else:
                 self._sm_kernel_done[sm_id] = True
         if prog.controller is not None:
@@ -337,43 +378,67 @@ class GPUSystem:
         than turning into premature hits.
         """
         sm.wake_scheduled = False
+        sm.mshr_blocked_at = -1.0
         now = self.engine.now
         ready = sm.ready
+        # This loop runs once per consumed access — the single hottest
+        # stretch of Python in the simulator — so invariants are hoisted
+        # into locals and the tiny SM helpers (retire_access, requeue,
+        # bypasses_l1, WarpContext.at_barrier) are inlined.
+        l1 = sm.l1
+        l1_lookup = l1.lookup_read
+        mshr = sm.mshr
+        popleft = ready.popleft
+        append = ready.append
+        stall_until = self.global_stall_until
+        gap = sm.gap_cycles
+        instrs = sm.instrs_per_access
+        bypass_lo = sm.l1_bypass_lo
+        bypass_hi = sm.l1_bypass_hi
         while ready:
             warp = ready[0]
+            cursor = warp.cursor
+            keys = warp.keys
+            nb = warp.next_barrier
 
             # CTA barrier (__syncthreads): park until siblings arrive.
-            if warp.at_barrier:
+            if nb is not None and cursor >= nb and cursor < len(keys):
                 group = warp.group
-                warp.next_barrier += group.interval
+                warp.next_barrier = nb + group.interval
                 group.arrived += 1
-                ready.popleft()
+                popleft()
                 if group.arrived >= group.live:
                     group.arrived = 0
-                    ready.append(warp)
+                    append(warp)
                     ready.extend(group.parked)
                     group.parked.clear()
                 else:
                     group.parked.append(warp)
                 continue
 
-            issue_at = max(sm.next_issue_time, self.global_stall_until)
+            issue_at = sm.next_issue_time
+            if stall_until > issue_at:
+                issue_at = stall_until
             if issue_at < now:
                 # The SM was waiting on fills/credits: it resumes issuing
                 # from the present, still paced at one access per gap.
                 issue_at = now
-            key = warp.keys[warp.cursor]
-            is_write = warp.writes[warp.cursor]
-            bypass = sm.bypasses_l1(key)
+            key = keys[cursor]
+            is_write = warp.writes[cursor]
+            bypass = bypass_lo <= key < bypass_hi
 
-            if not is_write and not bypass and sm.l1.probe(key):
+            if not is_write and not bypass and l1_lookup(key):
                 # L1 hit: purely SM-local, consume eagerly at its own time.
-                sm.l1.access(key, False)
-                warp.cursor += 1
-                sm.next_issue_time = issue_at + sm.gap_cycles
-                sm.retire_access()
-                ready.popleft()
-                sm.requeue(warp)
+                cursor += 1
+                warp.cursor = cursor
+                sm.next_issue_time = issue_at + gap
+                sm.retired_instructions += instrs
+                sm.live_accesses -= 1
+                popleft()
+                if cursor < len(keys):
+                    append(warp)
+                elif warp.group is not None:
+                    warp.group.on_exhaust(ready)
                 continue
 
             # NoC-bound access: must be issued at its architectural time,
@@ -381,8 +446,7 @@ class GPUSystem:
             if issue_at > now:
                 if not sm.wake_scheduled:
                     sm.wake_scheduled = True
-                    self.engine.schedule(issue_at,
-                                         lambda s=sm: self._sm_wake(s))
+                    self.engine.schedule_call(issue_at, self._sm_wake, sm)
                 return
 
             if is_write:
@@ -391,53 +455,56 @@ class GPUSystem:
                     # retirement event re-wakes the SM).
                     return
                 sm.write_credits -= 1
-                sm.l1.access(key, True)
-                warp.cursor += 1
-                sm.next_issue_time = issue_at + sm.gap_cycles
-                sm.retire_access()
+                l1.access(key, True)
+                cursor += 1
+                warp.cursor = cursor
+                sm.next_issue_time = issue_at + gap
+                sm.retired_instructions += instrs
+                sm.live_accesses -= 1
                 sm.issued_writes += 1
                 self._issue_write(sm, key, issue_at)
-                ready.popleft()
-                sm.requeue(warp)
+                popleft()
+                if cursor < len(keys):
+                    append(warp)
+                elif warp.group is not None:
+                    warp.group.on_exhaust(ready)
                 continue
 
             # L1 read miss: the warp blocks on the line (in-order warp).
-            entry = sm.mshr.lookup(key)
+            entry = mshr.lookup(key)
             if entry is not None:
-                sm.mshr.merge(key, waiter=warp)
+                # Secondary miss: merge in place (one dict lookup, not two).
+                entry.waiters.append(warp)
+                mshr.merges += 1
             else:
-                if sm.mshr.full:
+                if mshr.full:
                     # Head-of-queue warp waits for any MSHR release; the
-                    # next fill re-wakes the SM.
+                    # next fill re-wakes the SM.  Count the structural stall
+                    # here — the stall *site* — and remember the instant so
+                    # same-instant non-fill wakeups (store-buffer credit
+                    # returns) can be coalesced away: only a fill can
+                    # unblock an MSHR-full front end.
+                    mshr.note_stall()
+                    sm.mshr_blocked_at = now
                     return
-                entry = sm.mshr.allocate(key, issue_at)
+                entry = mshr.allocate(key, issue_at)
                 entry.waiters.append(warp)
                 sm.issued_reads += 1
                 self._issue_read(sm, key, issue_at)
             if not bypass:
-                sm.l1.record_read_miss()
+                l1.record_read_miss()
             warp.waiting_on = key
-            warp.cursor += 1
-            sm.next_issue_time = issue_at + sm.gap_cycles
-            sm.retire_access()
-            ready.popleft()
+            warp.cursor = cursor + 1
+            sm.next_issue_time = issue_at + gap
+            sm.retired_instructions += instrs
+            sm.live_accesses -= 1
+            popleft()
             if warp.exhausted and warp.group is not None:
                 warp.group.on_exhaust(ready)
         if sm.drained:
             self._maybe_finish_sm(sm)
 
     # ------------------------------------------------------- request paths
-    def _route(self, sm: StreamingMultiprocessor, key: int) -> tuple[int, int, int]:
-        prog = self.programs[sm.program_id]
-        mc, slice_local = target_slice(prog.mode, self.mapping, key,
-                                       sm.cluster_id)
-        return mc, slice_local, mc * self.cfg.llc_slices_per_mc + slice_local
-
-    def _observe(self, sm: StreamingMultiprocessor, key: int, mc: int,
-                 slice_global: int, when: float) -> None:
-        if self.locality is not None:
-            self.locality.note(key, sm.cluster_id, when)
-
     def _profile(self, sm: StreamingMultiprocessor, key: int, mc: int,
                  slice_global: int, hit: bool) -> None:
         """Feed the adaptive profiler (only meaningful under shared mode,
@@ -454,84 +521,127 @@ class GPUSystem:
     # server is therefore fed in true arrival order — threading the whole
     # path at issue time would let a request delayed upstream inflate the
     # completion times of later-issued but earlier-arriving requests.
+    #
+    # Each hop schedules the next stage's *bound method* with the pooled
+    # :class:`Request` as its argument (``Engine.schedule_call``), so a full
+    # read round trip allocates no closures and no Event objects.
+
+    def _acquire_request(self, sm: StreamingMultiprocessor,
+                         key: int) -> Request:
+        # Memoized equivalent of repro.core.modes.target_slice: the MC is
+        # always address-determined, the slice within it is address- or
+        # cluster-determined depending on the program's current mode.
+        if self.programs[sm.program_id].mode is LLCMode.PRIVATE:
+            mc = self._mc_of.get(key)
+            if mc is None:
+                mc = self.mapping.mc_of(key)
+                self._mc_of[key] = mc
+            slice_local = sm.cluster_id
+            if slice_local >= self.mapping.slices_per_mc:
+                raise ValueError(
+                    f"cluster {slice_local} has no private slice "
+                    f"({self.mapping.slices_per_mc} slices per MC)"
+                )
+        else:
+            route = self._shared_route.get(key)
+            if route is None:
+                route = (self.mapping.mc_of(key), self.mapping.slice_of(key))
+                self._shared_route[key] = route
+            mc, slice_local = route
+        pool = self._req_pool
+        if pool:
+            req = pool.pop()
+            req.sm = sm
+            req.key = key
+            req.mc = mc
+            req.slice_local = slice_local
+        else:
+            req = Request(sm, key, mc, slice_local)
+        req.slice_global = mc * self.cfg.llc_slices_per_mc + slice_local
+        return req
 
     def _issue_read(self, sm: StreamingMultiprocessor, key: int,
                     when: float) -> None:
-        mc, slice_local, slice_global = self._route(sm, key)
-        self._observe(sm, key, mc, slice_global, when)
-        arrive = self.topology.request_arrival(when, sm.sm_id, mc,
-                                               slice_local, is_write=False)
-        self.engine.schedule(
-            arrive, lambda: self._read_at_slice(sm, key, mc, slice_local,
-                                                slice_global))
+        req = self._acquire_request(sm, key)
+        if self.locality is not None:
+            self.locality.note(key, sm.cluster_id, when)
+        arrive = self.topology.request_arrival(when, sm.sm_id, req.mc,
+                                               req.slice_local,
+                                               is_write=False)
+        self.engine.schedule_call(arrive, self._read_at_slice, req)
 
-    def _read_at_slice(self, sm: StreamingMultiprocessor, key: int, mc: int,
-                       slice_local: int, slice_global: int) -> None:
+    def _read_at_slice(self, req: Request) -> None:
         now = self.engine.now
-        sl = self.llc_slices[slice_global]
-        hit, done, wb_key, _ = sl.access(now, key, is_write=False)
-        self._profile(sm, key, mc, slice_global, hit)
+        sl = self.llc_slices[req.slice_global]
+        hit, done, wb_key, _ = sl.access(now, req.key, is_write=False)
+        self._profile(req.sm, req.key, req.mc, req.slice_global, hit)
         if wb_key is not None:
-            self.mcs[mc].write(done, wb_key)
+            self.mcs[req.mc].write(done, wb_key)
         if hit:
             # ``done`` is the response tail-flit exit plus pipeline latency.
-            self.engine.schedule(
-                done, lambda: self._launch_reply(sm, key, mc, slice_local))
+            self.engine.schedule_call(done, self._launch_reply, req)
         else:
-            dram_ready = self.mcs[mc].read(done, key)
-            self.engine.schedule(
-                dram_ready, lambda: self._fill_at_slice(sm, key, mc,
-                                                        slice_local,
-                                                        slice_global))
+            dram_ready = self.mcs[req.mc].read(done, req.key)
+            self.engine.schedule_call(dram_ready, self._fill_at_slice, req)
 
-    def _fill_at_slice(self, sm: StreamingMultiprocessor, key: int, mc: int,
-                       slice_local: int, slice_global: int) -> None:
-        sl = self.llc_slices[slice_global]
+    def _fill_at_slice(self, req: Request) -> None:
+        sl = self.llc_slices[req.slice_global]
         exit_time = sl.fill_response(self.engine.now)
-        self.engine.schedule(
-            exit_time + sl.latency,
-            lambda: self._launch_reply(sm, key, mc, slice_local))
+        self.engine.schedule_call(exit_time + sl.latency,
+                                  self._launch_reply, req)
 
-    def _launch_reply(self, sm: StreamingMultiprocessor, key: int, mc: int,
-                      slice_local: int) -> None:
-        reply = self.topology.reply_arrival(self.engine.now, mc, slice_local,
-                                            sm.sm_id, is_write=False)
-        self.engine.schedule(reply, lambda: self._on_fill(sm, key))
+    def _launch_reply(self, req: Request) -> None:
+        reply = self.topology.reply_arrival(self.engine.now, req.mc,
+                                            req.slice_local, req.sm.sm_id,
+                                            is_write=False)
+        self.engine.schedule_call(reply, self._on_fill, req)
 
     def _issue_write(self, sm: StreamingMultiprocessor, key: int,
                      when: float) -> None:
-        mc, slice_local, slice_global = self._route(sm, key)
-        self._observe(sm, key, mc, slice_global, when)
-        arrive = self.topology.request_arrival(when, sm.sm_id, mc,
-                                               slice_local, is_write=True)
-        self.engine.schedule(
-            arrive, lambda: self._write_at_slice(sm, key, mc, slice_global))
+        req = self._acquire_request(sm, key)
+        if self.locality is not None:
+            self.locality.note(key, sm.cluster_id, when)
+        arrive = self.topology.request_arrival(when, sm.sm_id, req.mc,
+                                               req.slice_local,
+                                               is_write=True)
+        self.engine.schedule_call(arrive, self._write_at_slice, req)
 
-    def _write_at_slice(self, sm: StreamingMultiprocessor, key: int, mc: int,
-                        slice_global: int) -> None:
+    def _write_at_slice(self, req: Request) -> None:
         now = self.engine.now
-        sl = self.llc_slices[slice_global]
+        sm = req.sm
+        sl = self.llc_slices[req.slice_global]
+        mc = req.mc
         prog_private = self.programs[sm.program_id].mode is LLCMode.PRIVATE
-        hit, done, wb_key, dram_write = sl.access(now, key, is_write=True,
+        hit, done, wb_key, dram_write = sl.access(now, req.key, is_write=True,
                                                   write_through=prog_private)
-        self._profile(sm, key, mc, slice_global, hit)
+        self._profile(sm, req.key, mc, req.slice_global, hit)
         if wb_key is not None:
             self.mcs[mc].write(done, wb_key)
         if dram_write:
             # Write-through drains to DRAM in the background (it occupies
             # bank and bus, but the store retires at the LLC).
-            self.mcs[mc].write(done, key)
-        # Fire-and-forget: the store-buffer credit returns when the write
-        # retires at the LLC slice.
-        self.engine.schedule(max(done, now),
-                             lambda: self._on_write_retired(sm))
+            self.mcs[mc].write(done, req.key)
+        # The request's life ends at the slice; the store-buffer credit
+        # returns when the write retires there (fire-and-forget).
+        req.sm = None
+        self._req_pool.append(req)
+        self.engine.schedule_call(max(done, now), self._on_write_retired, sm)
 
     def _on_write_retired(self, sm: StreamingMultiprocessor) -> None:
         sm.write_credits += 1
-        if not sm.wake_scheduled:
+        # Coalesce duplicate same-instant wakeups: if the SM already drained
+        # at this exact instant and parked on a full MSHR file, a returned
+        # store credit cannot unblock it (the head warp is a read), so the
+        # wake would replay the drain loop to the identical stall.
+        if (not sm.wake_scheduled
+                and sm.mshr_blocked_at != self.engine.now):
             self._sm_wake(sm)
 
-    def _on_fill(self, sm: StreamingMultiprocessor, key: int) -> None:
+    def _on_fill(self, req: Request) -> None:
+        sm = req.sm
+        key = req.key
+        req.sm = None
+        self._req_pool.append(req)
         waiters = sm.mshr.release(key)
         if not sm.bypasses_l1(key):
             sm.l1.fill(key)

@@ -102,6 +102,8 @@ class DRAMChannel:
         self.bytes_per_cycle = bytes_per_cycle
         self.line_bytes = line_bytes
         self.lines_per_row = max(1, row_bytes // line_bytes)
+        #: Bus occupancy of one line transfer, precomputed off the hot path.
+        self._xfer_cycles = line_bytes / bytes_per_cycle
         # stats
         self.reads = 0
         self.writes = 0
@@ -115,10 +117,9 @@ class DRAMChannel:
         write-retired time (writes)."""
         if not 0 <= bank < len(self.banks):
             raise IndexError(f"bank {bank} out of range")
-        row = self.row_of(line_key, bank)
+        row = line_key // self.lines_per_row
         bank_ready = self.banks[bank].access(now, row, is_write)
-        xfer = self.line_bytes / self.bytes_per_cycle
-        bus_done = self.bus.enqueue(bank_ready, xfer)
+        bus_done = self.bus.enqueue(bank_ready, self._xfer_cycles)
         if is_write:
             self.writes += 1
             return bus_done

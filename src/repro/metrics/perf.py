@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from typing import Mapping, Sequence
 
 from repro.sim.stats import geometric_mean, harmonic_mean
@@ -38,8 +39,10 @@ def speedup_summary(speedups: Mapping[str, float]) -> dict[str, float]:
 def geomean_speedup(speedups: Sequence[float]) -> float:
     """Geometric-mean summary of per-point speedups.
 
-    Drops NaN entries first (drivers stash NaN in summary-row slots), so
-    trend checks can feed whole row columns without pre-filtering.
+    Drops non-finite entries first — NaN (drivers stash NaN in summary-row
+    slots) *and* ±inf (a zero-IPC baseline produces an infinite ratio that
+    would otherwise poison the whole geomean) — so trend checks can feed
+    whole row columns without pre-filtering.
 
     Args:
         speedups: per-benchmark or per-config speedup ratios.
@@ -50,7 +53,7 @@ def geomean_speedup(speedups: Sequence[float]) -> float:
     Raises:
         ValueError: if no finite entries remain.
     """
-    finite = [s for s in speedups if s == s]
+    finite = [s for s in speedups if math.isfinite(s)]
     if not finite:
         raise ValueError("geomean_speedup needs at least one finite value")
     return geometric_mean(finite)

@@ -80,8 +80,8 @@ class HierarchicalCrossbar(BaseTopology):
     # ------------------------------------------------------------- timing
     def request_arrival(self, now: float, sm_id: int, mc_id: int,
                         slice_local: int, is_write: bool) -> float:
-        flits = self.req_flits(is_write)
-        cluster = self.cluster_of(sm_id)
+        flits = self._req_flits[is_write]
+        cluster = sm_id // self.sms_per_cluster
         t = self.sm_links[sm_id].traverse(now, flits)
         t = self.req_sm_routers[cluster].forward(t, mc_id, flits)
         t = self.req_long[cluster][mc_id].traverse(t, flits)
@@ -93,13 +93,15 @@ class HierarchicalCrossbar(BaseTopology):
                 )
             return t + BYPASS_CYCLES
         t = self.req_mc_routers[mc_id].forward(t, slice_local, flits)
-        return self.req_dist[self.slice_global(mc_id, slice_local)].traverse(t, flits)
+        return self.req_dist[mc_id * self.slices_per_mc
+                             + slice_local].traverse(t, flits)
 
     def reply_arrival(self, now: float, mc_id: int, slice_local: int,
                       sm_id: int, is_write: bool) -> float:
-        flits = self.rep_flits(is_write)
-        cluster = self.cluster_of(sm_id)
-        t = self.slice_links[self.slice_global(mc_id, slice_local)].traverse(now, flits)
+        flits = self._rep_flits[is_write]
+        cluster = sm_id // self.sms_per_cluster
+        t = self.slice_links[mc_id * self.slices_per_mc
+                             + slice_local].traverse(now, flits)
         if self.bypass and slice_local == cluster:
             t = t + BYPASS_CYCLES
         else:

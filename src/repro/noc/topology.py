@@ -77,6 +77,17 @@ class BaseTopology(ABC):
         self.num_slices = cfg.num_llc_slices
         self.pipeline = cfg.noc.router_pipeline_stages
         self.bypass = False
+        # Packet sizes depend only on direction and read/write — precompute
+        # both so the per-request timing paths index a pair instead of
+        # recomputing the flit arithmetic.
+        self._req_flits = (request_flits(False, self.line_bytes,
+                                         self.channel_bytes),
+                           request_flits(True, self.line_bytes,
+                                         self.channel_bytes))
+        self._rep_flits = (reply_flits(False, self.line_bytes,
+                                       self.channel_bytes),
+                           reply_flits(True, self.line_bytes,
+                                       self.channel_bytes))
 
     # -------------------------------------------------------------- sizes
     def cluster_of(self, sm_id: int) -> int:
@@ -86,10 +97,10 @@ class BaseTopology(ABC):
         return mc_id * self.slices_per_mc + slice_local
 
     def req_flits(self, is_write: bool) -> int:
-        return request_flits(is_write, self.line_bytes, self.channel_bytes)
+        return self._req_flits[is_write]
 
     def rep_flits(self, is_write: bool) -> int:
-        return reply_flits(is_write, self.line_bytes, self.channel_bytes)
+        return self._rep_flits[is_write]
 
     # ----------------------------------------------------------- abstract
     @abstractmethod

@@ -4,16 +4,36 @@ Time is measured in GPU core cycles as a float (servers can hand out
 sub-cycle completion times when modelling fractional bandwidth), but events
 fire in strictly nondecreasing time order, with FIFO ordering among events
 scheduled for the same instant.
+
+Hot-path design
+---------------
+The heap stores plain ``(time, seq, event, fn, arg)`` tuples, never
+:class:`Event` objects, so every sift during push/pop compares floats and
+ints at C speed instead of calling a Python ``__lt__`` (``seq`` is unique
+per engine, so comparison never reaches the later elements).  Two scheduling
+flavours share one FIFO sequence counter:
+
+* :meth:`schedule` / :meth:`schedule_after` — allocate an :class:`Event`
+  handle the caller can cancel (the adaptive controller bulk-cancels whole
+  epochs of profiling callbacks).
+* :meth:`schedule_call` / :meth:`schedule_after_call` — fire-and-forget
+  ``fn(arg)`` with **no per-event allocation beyond the heap tuple**.  The
+  request pipeline in :mod:`repro.gpu.system` schedules one of these per
+  queue boundary, so an L1 miss costs zero closures and zero Event objects.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 
 class Event:
-    """A scheduled callback.  Cancel by calling :meth:`cancel`."""
+    """A cancellable scheduled callback.  Cancel by calling :meth:`cancel`.
+
+    Only :meth:`Engine.schedule`/:meth:`Engine.schedule_after` allocate
+    these; the fire-and-forget ``schedule_call`` path never does.
+    """
 
     __slots__ = ("time", "seq", "fn", "cancelled", "fired", "_engine")
 
@@ -36,11 +56,6 @@ class Event:
         self.cancelled = True
         if not self.fired and self._engine is not None:
             self._engine._note_cancelled()
-
-    def __lt__(self, other: "Event") -> bool:
-        if self.time != other.time:
-            return self.time < other.time
-        return self.seq < other.seq
 
 
 class Engine:
@@ -69,7 +84,9 @@ class Engine:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list[Event] = []
+        # Heap entries: (time, seq, Event-or-None, fn-or-None, arg).
+        # Exactly one of (entry[2]) / (entry[3]) is set.
+        self._heap: list[tuple] = []
         self._seq = 0
         self._events_processed = 0
         self._cancelled = 0  # dead events still sitting in the heap
@@ -90,31 +107,33 @@ class Engine:
         """
         if time < self.now:
             raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
-        ev = Event(time, self._seq, fn, engine=self)
-        self._seq += 1
-        heapq.heappush(self._heap, ev)
+        seq = self._seq
+        self._seq = seq + 1
+        ev = Event(time, seq, fn, engine=self)
+        heapq.heappush(self._heap, (time, seq, ev, None, None))
         return ev
 
-    # -------------------------------------------------------- cancellation
-    def _note_cancelled(self) -> None:
-        """A queued event was cancelled.  When dead events dominate the heap
-        (long adaptive runs cancel whole epochs of profiling events), compact
-        it so they don't accumulate for the rest of the run."""
-        self._cancelled += 1
-        if (self._cancelled >= self.COMPACT_MIN_CANCELLED
-                and self._cancelled * 2 > len(self._heap)):
-            self._compact()
+    def schedule_call(self, time: float, fn: Callable[[Any], None],
+                      arg: Any) -> None:
+        """Schedule ``fn(arg)`` at absolute ``time`` — the zero-allocation
+        fast path (no :class:`Event` handle, so no cancellation).
 
-    def _compact(self) -> None:
-        """Drop cancelled events and restore the heap invariant.
+        FIFO ordering with :meth:`schedule` is preserved: both flavours draw
+        from the same sequence counter.
 
-        In place: :meth:`run` holds a local reference to the heap list while
-        event callbacks (which may cancel events) are executing.
+        Args:
+            time: absolute firing time; must be >= ``now``.
+            fn: one-argument callback (typically a bound stage method).
+            arg: payload handed to ``fn`` (typically a pipeline request).
+
+        Raises:
+            ValueError: if ``time`` lies in the past.
         """
-        live = [ev for ev in self._heap if not ev.cancelled]
-        heapq.heapify(live)
-        self._heap[:] = live
-        self._cancelled = 0
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, seq, None, fn, arg))
 
     def schedule_after(self, delay: float, fn: Callable[[], None]) -> Event:
         """Schedule ``fn`` to run ``delay`` cycles from now.
@@ -133,6 +152,39 @@ class Engine:
             raise ValueError(f"negative delay {delay}")
         return self.schedule(self.now + delay, fn)
 
+    def schedule_after_call(self, delay: float, fn: Callable[[Any], None],
+                            arg: Any) -> None:
+        """Relative-delay variant of :meth:`schedule_call`.
+
+        Raises:
+            ValueError: if ``delay`` is negative.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self.schedule_call(self.now + delay, fn, arg)
+
+    # -------------------------------------------------------- cancellation
+    def _note_cancelled(self) -> None:
+        """A queued event was cancelled.  When dead events dominate the heap
+        (long adaptive runs cancel whole epochs of profiling events), compact
+        it so they don't accumulate for the rest of the run."""
+        self._cancelled += 1
+        if (self._cancelled >= self.COMPACT_MIN_CANCELLED
+                and self._cancelled * 2 > len(self._heap)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled events and restore the heap invariant.
+
+        In place: :meth:`run` holds a local reference to the heap list while
+        event callbacks (which may cancel events) are executing.
+        """
+        live = [entry for entry in self._heap
+                if entry[2] is None or not entry[2].cancelled]
+        heapq.heapify(live)
+        self._heap[:] = live
+        self._cancelled = 0
+
     # ----------------------------------------------------------------- run
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Process events until the queue drains or a limit is hit.
@@ -145,27 +197,60 @@ class Engine:
         ``self.now`` advances to the time of the last processed event (or
         ``until`` when the horizon cuts first).
         """
+        if until is None and max_events is None:
+            self._run_fast()
+            return
         heap = self._heap
+        pop = heapq.heappop
         processed = 0
         while heap:
-            ev = heap[0]
-            if ev.cancelled:
-                heapq.heappop(heap)
+            entry = heap[0]
+            ev = entry[2]
+            if ev is not None and ev.cancelled:
+                pop(heap)
                 self._cancelled -= 1
                 continue
-            if until is not None and ev.time > until:
+            if until is not None and entry[0] > until:
                 self.now = until
                 break
             if max_events is not None and processed >= max_events:
                 break
-            heapq.heappop(heap)
-            ev.fired = True
-            self.now = ev.time
-            ev.fn()
+            pop(heap)
+            self.now = entry[0]
+            if ev is not None:
+                ev.fired = True
+                ev.fn()
+            else:
+                entry[3](entry[4])
             processed += 1
         else:
             if until is not None and until > self.now:
                 self.now = until
+        self._events_processed += processed
+
+    def _run_fast(self) -> None:
+        """Drain the whole queue with no horizon/budget checks per pop.
+
+        The common case — :meth:`repro.gpu.system.GPUSystem.run` without a
+        cycle cap — pays neither the ``until``/``max_events`` comparisons
+        nor a heap peek per event.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        processed = 0
+        while heap:
+            time, _seq, ev, fn, arg = pop(heap)
+            if ev is None:
+                self.now = time
+                fn(arg)
+                processed += 1
+            elif not ev.cancelled:
+                ev.fired = True
+                self.now = time
+                ev.fn()
+                processed += 1
+            else:
+                self._cancelled -= 1
         self._events_processed += processed
 
     @property

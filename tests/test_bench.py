@@ -1,0 +1,84 @@
+"""Hot-path benchmark subsystem: measurement, file format, regression gate."""
+
+import json
+
+import pytest
+
+from repro.bench import (MODES, compare_bench, load_bench, run_bench,
+                         write_bench)
+from repro.cli import main
+
+TINY = 0.02  # smoke preset
+
+
+def _payload(eps: float) -> dict:
+    return {"wall_s": 1.0, "events": int(eps), "events_per_sec": eps,
+            "cycles": 100.0}
+
+
+def test_run_bench_schema_and_positive_throughput():
+    data = run_bench(TINY, modes=("shared",))
+    row = data["shared"]
+    assert set(row) == {"wall_s", "events", "events_per_sec", "cycles"}
+    assert row["events"] > 0
+    assert row["events_per_sec"] > 0
+    assert row["cycles"] > 0
+    assert data["_meta"]["scale"] == TINY
+
+
+def test_write_and_load_round_trip(tmp_path):
+    path = str(tmp_path / "bench.json")
+    data = {"shared": _payload(1000.0), "_meta": {"scale": 0.1}}
+    write_bench(path, data)
+    assert load_bench(path) == data
+
+
+def test_compare_bench_passes_within_margin():
+    base = {"shared": _payload(1000.0), "_meta": {}}
+    cur = {"shared": _payload(750.0), "_meta": {}}
+    assert compare_bench(cur, base, max_regress=0.30) == []
+
+
+def test_compare_bench_flags_regression_beyond_margin():
+    base = {"shared": _payload(1000.0)}
+    cur = {"shared": _payload(650.0)}
+    failures = compare_bench(cur, base, max_regress=0.30)
+    assert len(failures) == 1
+    assert "shared" in failures[0]
+
+
+def test_compare_bench_flags_scenario_set_drift():
+    base = {"shared": _payload(1000.0), "private": _payload(1000.0)}
+    cur = {"shared": _payload(1000.0), "adaptive": _payload(1000.0)}
+    failures = compare_bench(cur, base)
+    assert any("private" in f for f in failures)   # dropped scenario
+    assert any("adaptive" in f for f in failures)  # unbaselined scenario
+
+
+def test_cli_bench_writes_record(tmp_path, capsys):
+    out = str(tmp_path / "BENCH_hotpath.json")
+    rc = main(["bench", "--scale", "smoke", "--benchmark", "VA",
+               "--out", out])
+    assert rc == 0
+    record = load_bench(out)
+    for mode in MODES:
+        assert record[mode]["events_per_sec"] > 0
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_cli_bench_gates_on_committed_baseline(tmp_path, capsys):
+    # An impossible baseline must fail the gate; a trivial one must pass.
+    out = str(tmp_path / "bench.json")
+    impossible = str(tmp_path / "impossible.json")
+    with open(impossible, "w", encoding="utf-8") as fh:
+        json.dump({"shared": _payload(1e15)}, fh)
+    rc = main(["bench", "--scale", "smoke", "--out", out,
+               "--baseline", impossible])
+    assert rc == 1
+
+    trivial = str(tmp_path / "trivial.json")
+    with open(trivial, "w", encoding="utf-8") as fh:
+        json.dump({mode: _payload(1.0) for mode in MODES}, fh)
+    rc = main(["bench", "--scale", "smoke", "--out", out,
+               "--baseline", trivial])
+    assert rc == 0

@@ -16,12 +16,17 @@ def test_allocate_and_release():
     assert m.outstanding == 0
 
 
-def test_full_returns_none_and_counts_stall():
+def test_full_returns_none_without_counting_stall():
+    # Stall accounting belongs to the stall site (note_stall), not to
+    # allocate: the SM front end pre-checks `full` and never calls allocate
+    # when parked, so counting in allocate left the stat at zero.
     m = MSHRFile(2)
     assert m.allocate(1, 0.0) is not None
     assert m.allocate(2, 0.0) is not None
     assert m.full
     assert m.allocate(3, 0.0) is None
+    assert m.stalls == 0
+    m.note_stall()
     assert m.stalls == 1
 
 

@@ -272,3 +272,47 @@ def test_cli_compare_normalizes_to_shared(capsys):
     assert main(["compare", "GEMM", "--scale", str(TINY)]) == 0
     out = capsys.readouterr().out
     assert "vs_shared" in out
+
+
+# ------------------------------------------------- worker failure labeling
+def test_failing_spec_names_itself_inline():
+    from repro.experiments.campaign import SpecExecutionError
+
+    bad = RunSpec(benchmark="ZZZ", mode="shared", cfg=experiment_config(),
+                  scale=TINY)
+    campaign = Campaign(jobs=1)
+    with pytest.raises(SpecExecutionError) as err:
+        campaign.result(bad)
+    assert "ZZZ/shared" in str(err.value)
+    assert err.value.label == bad.label()
+    # The memo holds no entry for the failed spec — a retry re-executes
+    # instead of serving a corrupt record.
+    assert bad.cache_key() not in campaign._memo
+
+
+def test_failing_spec_names_itself_across_the_pool():
+    from repro.experiments.campaign import SpecExecutionError
+
+    bad = [RunSpec(benchmark="ZZZ", mode=m, cfg=experiment_config(),
+                   scale=TINY) for m in ("shared", "private")]
+    campaign = Campaign(jobs=2)
+    with pytest.raises(SpecExecutionError) as err:
+        campaign.results(bad)
+    assert "ZZZ/" in str(err.value)
+    assert all(spec.cache_key() not in campaign._memo for spec in bad)
+    # The campaign stays usable after a worker death.
+    good = campaign.result(RunSpec.single("VA", "shared", scale=TINY))
+    assert good.cycles > 0
+
+
+def test_spec_execution_error_pickles_with_label():
+    import pickle
+
+    from repro.experiments.campaign import SpecExecutionError
+
+    err = SpecExecutionError("run spec VA/shared@0.05 failed: boom",
+                             "VA/shared@0.05")
+    clone = pickle.loads(pickle.dumps(err))
+    assert isinstance(clone, SpecExecutionError)
+    assert clone.label == "VA/shared@0.05"
+    assert "boom" in str(clone)

@@ -285,3 +285,17 @@ def test_perf_metrics():
         system_throughput([1.0], [0.0])
     out = speedup_summary({"A": 1.0, "B": 2.0})
     assert out["HM"] == pytest.approx(4.0 / 3.0)
+
+
+def test_geomean_speedup_ignores_nan_and_inf():
+    from repro.metrics.perf import geomean_speedup
+
+    # NaN summary-row slots and inf ratios (zero-IPC baselines) are both
+    # dropped; only finite entries shape the geomean.
+    assert geomean_speedup([2.0, float("nan"), 8.0]) == pytest.approx(4.0)
+    assert geomean_speedup([2.0, float("inf"), 8.0]) == pytest.approx(4.0)
+    assert geomean_speedup([4.0, float("-inf")]) == pytest.approx(4.0)
+    with pytest.raises(ValueError):
+        geomean_speedup([float("nan"), float("inf")])
+    with pytest.raises(ValueError):
+        geomean_speedup([])

@@ -1,0 +1,44 @@
+"""Golden-result guard for the typed-request pipeline rewrite.
+
+``tests/data/golden_runresults.json`` was captured from the pre-rewrite
+closure-chain pipeline (one shared, one private, one adaptive, and one
+two-program spec).  The hot-path rework — pooled ``Request`` objects,
+``Engine.schedule_call``, the L1 probe/access fold, route memoization, and
+same-instant wake coalescing — must be *pure* optimization: every
+simulation result stays byte-identical, and therefore every campaign cache
+key keeps addressing the same payload.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.campaign import RunSpec, execute_spec
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data",
+                           "golden_runresults.json")
+
+with open(GOLDEN_PATH, encoding="utf-8") as _fh:
+    GOLDEN = json.load(_fh)
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN),
+                         ids=[GOLDEN[k]["label"] for k in sorted(GOLDEN)])
+def test_runresult_byte_identical_to_pre_rewrite(key):
+    entry = GOLDEN[key]
+    spec = RunSpec.from_dict(entry["spec"])
+    # The spec's content key itself must not drift, or the campaign's
+    # on-disk cache would silently re-run (or worse, mis-serve) old specs.
+    assert spec.cache_key() == key
+    result = execute_spec(spec).to_dict()
+    assert result == entry["result"], (
+        f"{entry['label']}: RunResult dict diverged from the pre-rewrite "
+        f"golden capture")
+
+
+def test_golden_covers_all_three_policies_and_a_pair():
+    labels = [entry["label"] for entry in GOLDEN.values()]
+    modes = {entry["spec"]["mode"] for entry in GOLDEN.values()}
+    assert modes == {"shared", "private", "adaptive"}
+    assert any(entry["spec"]["pair_with"] for entry in GOLDEN.values()), labels

@@ -176,3 +176,27 @@ def test_reconfiguration_stalls_accounted():
         assert r.stall_cycles > 0
         # Paper: a couple hundred to a couple thousand cycles each.
         assert r.stall_cycles / r.transitions < 10_000
+
+
+def test_mshr_stalls_are_counted_at_the_stall_site():
+    # A tiny MSHR file forces the front end to park on `full` repeatedly;
+    # the stall statistic must reflect that (it was permanently zero when
+    # only MSHRFile.allocate — which the front end never reaches when
+    # full — counted stalls).
+    cfg = small_cfg(max_outstanding_misses=1)
+    w = build("VA", total_accesses=4000, num_ctas=160, max_kernels=1)
+    s = GPUSystem(cfg, w, mode="shared")
+    r = s.run()
+    assert r.cycles > 0
+    assert sum(sm.mshr.stalls for sm in s.sms) > 0
+
+
+def test_request_pool_is_recycled():
+    cfg = small_cfg()
+    w = build("VA", total_accesses=3000, num_ctas=160, max_kernels=1)
+    s = GPUSystem(cfg, w, mode="shared")
+    initial = len(s._req_pool)
+    s.run()
+    # Every in-flight request was handed back and cleared.
+    assert len(s._req_pool) == initial
+    assert all(req.sm is None for req in s._req_pool)

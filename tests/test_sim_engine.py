@@ -163,3 +163,85 @@ def test_cancellation_during_run_keeps_order_and_counts():
     eng.run()
     assert fired == [1, 3, 5]
     assert eng.drained()
+
+
+def test_bulk_cancel_during_run_compacts_and_pending_stays_nonnegative():
+    # A callback cancels enough future events to trigger heap compaction
+    # while run() is mid-flight holding its reference to the heap list; the
+    # live-event accounting must never go negative and must end drained.
+    eng = Engine()
+    fired = []
+    n = 4 * Engine.COMPACT_MIN_CANCELLED
+    later = [eng.schedule(float(10 + i), lambda i=i: fired.append(i))
+             for i in range(n)]
+    pending_samples = []
+
+    def cancel_most():
+        for ev in later[: 3 * Engine.COMPACT_MIN_CANCELLED]:
+            ev.cancel()
+        pending_samples.append(eng.pending)
+
+    eng.schedule(1.0, cancel_most)
+    eng.schedule(5.0, lambda: pending_samples.append(eng.pending))
+    eng.run()
+    survivors = n - 3 * Engine.COMPACT_MIN_CANCELLED
+    assert fired == list(range(n - survivors, n))
+    assert all(p >= 0 for p in pending_samples)
+    assert pending_samples[0] == survivors + 1  # +1: the t=5 sampler event
+    assert eng.pending == 0
+    assert eng.drained()
+
+
+def test_schedule_call_fires_with_argument():
+    eng = Engine()
+    got = []
+    eng.schedule_call(2.0, got.append, "payload")
+    eng.run()
+    assert got == ["payload"]
+    assert eng.events_processed == 1
+
+
+def test_schedule_call_and_schedule_share_fifo_order():
+    # Both scheduling flavours draw from one sequence counter, so
+    # same-instant events fire in exact submission order.
+    eng = Engine()
+    fired = []
+    eng.schedule_call(3.0, fired.append, "a")
+    eng.schedule(3.0, lambda: fired.append("b"))
+    eng.schedule_call(3.0, fired.append, "c")
+    eng.schedule(3.0, lambda: fired.append("d"))
+    eng.run()
+    assert fired == ["a", "b", "c", "d"]
+
+
+def test_schedule_call_respects_horizon_and_budget():
+    eng = Engine()
+    fired = []
+    for i in range(6):
+        eng.schedule_call(float(i), fired.append, i)
+    eng.run(max_events=2)
+    assert fired == [0, 1]
+    eng.run(until=3.5)
+    assert fired == [0, 1, 2, 3]
+    assert eng.now == 3.5
+    assert eng.pending == 2
+
+
+def test_schedule_call_rejects_past_and_negative_delay():
+    eng = Engine()
+    eng.schedule(10.0, lambda: None)
+    eng.run()
+    with pytest.raises(ValueError):
+        eng.schedule_call(5.0, print, None)
+    with pytest.raises(ValueError):
+        eng.schedule_after_call(-1.0, print, None)
+
+
+def test_schedule_after_call_uses_relative_delay():
+    eng = Engine()
+    times = []
+    eng.schedule_call(
+        10.0, lambda _: eng.schedule_after_call(
+            5.0, lambda _: times.append(eng.now), None), None)
+    eng.run()
+    assert times == [15.0]

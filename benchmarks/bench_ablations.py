@@ -43,7 +43,7 @@ def test_ablation_mesh_vs_hxbar(once):
         mesh_cfg = cfg
         w = build("RN", total_accesses=int(100_000 * SCALE), num_ctas=160,
                   max_kernels=3)
-        system = GPUSystem(mesh_cfg, w, mode="shared")
+        system = GPUSystem(mesh_cfg, w, policy="shared")
         system.topology = MeshNoC(mesh_cfg)
         res = system.run()
         mesh_area = NoCPowerModel().area(system.topology.inventory()).total

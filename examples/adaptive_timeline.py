@@ -18,7 +18,7 @@ from repro.workloads.catalog import build
 def main() -> None:
     cfg = GPUConfig.baseline().replace(adaptive=scaled_adaptive_config())
     workload = build("RN", total_accesses=90_000, num_ctas=160, max_kernels=4)
-    system = GPUSystem(cfg, workload, mode="adaptive")
+    system = GPUSystem(cfg, workload, policy="adaptive")
     result = system.run()
 
     print(f"ResNet-like workload, {len(workload.kernels)} kernels, "

@@ -27,7 +27,7 @@ def main() -> None:
     for mode in ("shared", "private", "adaptive"):
         workload = build("SN", total_accesses=60_000, num_ctas=160,
                          max_kernels=1)
-        results[mode] = GPUSystem(cfg, workload, mode=mode).run()
+        results[mode] = GPUSystem(cfg, workload, policy=mode).run()
 
     base = results["shared"].ipc
     print(f"{'mode':10s} {'IPC':>8s} {'vs shared':>10s} "

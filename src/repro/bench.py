@@ -60,7 +60,7 @@ def bench_scenario(abbr: str, mode: str, scale: float,
                                  max_kernels=3)
     best: Optional[dict] = None
     for _ in range(max(1, repeat)):
-        system = GPUSystem(cfg, workload, mode=mode)
+        system = GPUSystem(cfg, workload, policy=mode)
         t0 = time.perf_counter()
         result = system.run()
         wall = time.perf_counter() - t0

@@ -4,12 +4,16 @@ Commands
 --------
 ``run``        simulate one benchmark under one LLC policy
 ``bench``      time the simulator hot path and write BENCH_hotpath.json
-``compare``    one benchmark under all three policies, side by side
-``figure``     regenerate a paper figure (2, 3, 7, 11, 12, 13, 14, 15, 16)
-               or every figure at once (``figure all``)
+``compare``    one benchmark under all three classic policies, side by side
+``figure``     regenerate a paper figure (2, 3, 7, 11, 12, 13, 14, 15, 16),
+               a named experiment (``policy_shootout``), or everything at
+               once (``figure all``)
 ``report``     run the whole campaign and build the HTML+Markdown paper
                artifact with per-figure fidelity badges
-``sweep``      declarative campaign sweep over benchmarks x modes x overrides
+``sweep``      declarative campaign sweep over benchmarks x policies x
+               config overrides
+``policy``     ``policy list`` / ``policy show NAME``: the LLC-policy
+               registry with parameter schemas
 ``tables``     print Tables 1 and 2
 ``catalog``    list the benchmark suite with its category parameters
 ``analyze``    characterize a generated workload trace
@@ -19,7 +23,9 @@ Commands
 ``--cache-dir DIR`` (memoize finished runs on disk, keyed by the content
 hash of the full run spec, so repeated figures and overlapping sweeps
 never re-simulate).  ``--scale`` takes a float or a named preset
-(``smoke``/``small``/``medium``/``paper``).
+(``smoke``/``small``/``medium``/``paper``).  Policies are given as
+``NAME[:key=value,...]`` (``repro policy list`` shows the registry), e.g.
+``--policy hysteresis:dwell=3``.
 """
 
 from __future__ import annotations
@@ -28,12 +34,17 @@ import argparse
 import json
 import sys
 
-from repro.experiments import FIGURE_MODULES, figure_module
+from repro.config import PolicyConfig
+from repro.experiments import FIGURE_MODULES, figure_module, figure_sort_key
 from repro.experiments.campaign import Campaign, RunSpec
 from repro.experiments.runner import experiment_config, print_rows
+from repro.policy import available_policies, canonical_policy_name, \
+    policy_class
 from repro.workloads.analysis import characterize, verify_category
 from repro.workloads.catalog import ALL_ABBRS, BENCHMARKS, build
 
+#: The classic triad (aliases into the policy registry), kept for
+#: ``compare`` and as ``run --mode`` back-compat.
 MODES = ("shared", "private", "adaptive")
 
 #: Named trace-scale presets accepted anywhere ``--scale`` is.
@@ -74,17 +85,36 @@ def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
                         help="on-disk result cache (content-keyed JSON)")
 
 
+def _parse_policy_arg(text: str) -> PolicyConfig:
+    """``--policy NAME[:k=v,...]`` values, name-validated against the
+    registry so typos fail at parse time, not mid-simulation."""
+    try:
+        pc = PolicyConfig.from_spec(text)
+        canonical_policy_name(pc.name)
+        policy_class(pc.name).canonical_params(pc.params_dict())
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return pc
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.policy is not None and args.mode is not None:
+        # Mirror GPUSystem: the same conflict is a hard error there.
+        print("error: pass either --policy or the deprecated --mode, "
+              "not both", file=sys.stderr)
+        return 2
+    policy = args.policy if args.policy is not None \
+        else PolicyConfig.of(args.mode or "adaptive")
     campaign = _campaign_from(args)
-    res = campaign.result(RunSpec.single(args.benchmark, args.mode,
+    res = campaign.result(RunSpec.single(args.benchmark, policy,
                                          scale=args.scale))
-    print(f"{args.benchmark} [{args.mode}]: IPC {res.ipc:.2f} over "
+    print(f"{args.benchmark} [{policy.spec()}]: IPC {res.ipc:.2f} over "
           f"{res.cycles:.0f} cycles")
     print(f"  LLC: miss rate {res.llc_miss_rate:.3f}, response rate "
           f"{res.llc_response_rate:.2f} flits/cycle")
     print(f"  DRAM: {res.dram_reads} reads, {res.dram_writes} writes")
-    if args.mode == "adaptive":
-        print(f"  adaptive: {res.transitions} transitions, "
+    if res.transitions or res.time_in_private:
+        print(f"  policy: {res.transitions} transitions, "
               f"{res.time_in_private / res.cycles:.0%} time private")
     return 0
 
@@ -131,8 +161,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     campaign = _campaign_from(args)
-    numbers = (sorted(FIGURE_MODULES, key=int) if args.number == "all"
-               else [args.number])
+    numbers = (sorted(FIGURE_MODULES, key=figure_sort_key)
+               if args.number == "all" else [args.number])
     modules = [(num, figure_module(num)) for num in numbers]
     # Declare every figure's specs up front: identical runs collapse to one
     # simulation across figures, and the whole batch shares the worker pool.
@@ -223,21 +253,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if unknown:
         print(f"error: unknown benchmarks {unknown}", file=sys.stderr)
         return 2
-    modes = args.modes.split(",")
-    bad_modes = [m for m in modes if m not in MODES]
-    if bad_modes:
-        print(f"error: unknown modes {bad_modes}", file=sys.stderr)
-        return 2
+    if args.policy:
+        policies = list(args.policy)  # already parsed + validated
+    else:
+        policies = []
+        for name in args.modes.split(","):
+            try:
+                canonical_policy_name(name)  # registry validation only
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            policies.append(PolicyConfig.of(name))
 
     campaign = _campaign_from(args)
-    specs = [RunSpec.single(abbr, mode, cfg, scale=args.scale)
-             for abbr in benchmarks for mode in modes]
+    specs = [RunSpec.single(abbr, policy, cfg, scale=args.scale)
+             for abbr in benchmarks for policy in policies]
     results = campaign.results(specs)
     rows = []
-    for spec, res in zip(specs, results):
+    for spec, res, policy in zip(specs, results,
+                                 [p for _ in benchmarks for p in policies]):
         rows.append({
             "benchmark": spec.benchmark,
-            "mode": spec.mode,
+            "policy": policy.spec(),
             "ipc": res.ipc,
             "llc_miss": res.llc_miss_rate,
             "resp_rate": res.llc_response_rate,
@@ -272,6 +309,45 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print("error: at least one expected_trends() check raised "
               "(see the ERROR badges in the report)", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_policy(args: argparse.Namespace) -> int:
+    registry = available_policies()
+    if args.action == "list":
+        rows = []
+        for name, cls in registry.items():
+            params = ", ".join(f"{p.name}={p.default}" for p in cls.PARAMS)
+            rows.append({"policy": name,
+                         "aliases": ",".join(cls.ALIASES) or "-",
+                         "params": params or "-",
+                         "description": cls.DESCRIPTION})
+        print_rows(rows)
+        print(f"\n{len(registry)} policies registered; "
+              f"use --policy NAME[:key=value,...] or "
+              f"`repro policy show NAME` for parameter docs")
+        return 0
+    # show NAME
+    try:
+        cls = policy_class(args.name)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"{cls.NAME}")
+    if cls.ALIASES:
+        print(f"  aliases: {', '.join(cls.ALIASES)}")
+    print(f"  {cls.DESCRIPTION}")
+    doc = (cls.__doc__ or "").strip()
+    if doc:
+        print(f"  {doc.splitlines()[0]}")
+    if cls.PARAMS:
+        print("  parameters:")
+        for p in cls.PARAMS:
+            choices = f" (one of {list(p.choices)})" if p.choices else ""
+            print(f"    {p.name} ({p.type.__name__}, default "
+                  f"{p.default!r}){choices}: {p.doc}")
+    else:
+        print("  parameters: none")
     return 0
 
 
@@ -325,7 +401,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="simulate one benchmark")
     p_run.add_argument("benchmark", choices=ALL_ABBRS)
-    p_run.add_argument("--mode", default="adaptive", choices=list(MODES))
+    p_run.add_argument("--policy", type=_parse_policy_arg, default=None,
+                       metavar="NAME[:k=v,...]",
+                       help="any registered LLC policy with parameters "
+                            "(see `repro policy list`); default: adaptive")
+    p_run.add_argument("--mode", default=None, choices=list(MODES),
+                       help="deprecated alias for --policy "
+                            "(classic triad only)")
     p_run.add_argument("--scale", type=parse_scale, default=1.0,
                        metavar="S",
                        help="trace scale: float or preset "
@@ -365,7 +447,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure "
                                           "(or 'all' for every figure)")
-    p_fig.add_argument("number", choices=sorted(FIGURE_MODULES) + ["all"])
+    p_fig.add_argument("number",
+                       choices=sorted(FIGURE_MODULES, key=figure_sort_key)
+                       + ["all"])
     p_fig.add_argument("--scale", type=parse_scale, default=1.0,
                        metavar="S",
                        help="trace scale: float or preset "
@@ -395,7 +479,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--benchmarks", default=None,
                       help="comma-separated abbreviations (default: all 17)")
     p_sw.add_argument("--modes", default="shared,private,adaptive",
-                      help="comma-separated LLC policies")
+                      help="comma-separated LLC policy names (no params; "
+                           "use --policy for parameterized entries)")
+    p_sw.add_argument("--policy", action="append", type=_parse_policy_arg,
+                      metavar="NAME[:k=v,...]",
+                      help="policy column with parameters; repeatable, "
+                           "overrides --modes when given")
     p_sw.add_argument("--scale", type=parse_scale, default=1.0,
                        metavar="S",
                        help="trace scale: float or preset "
@@ -406,6 +495,14 @@ def build_parser() -> argparse.ArgumentParser:
                            "(e.g. --set noc.channel_bytes=16); repeatable")
     _add_campaign_flags(p_sw)
     p_sw.set_defaults(fn=_cmd_sweep)
+
+    p_pol = sub.add_parser("policy", help="inspect the LLC-policy registry")
+    pol_sub = p_pol.add_subparsers(dest="action", required=True)
+    pol_sub.add_parser("list", help="every registered policy, one line each")
+    p_pol_show = pol_sub.add_parser("show",
+                                    help="one policy's parameter schema")
+    p_pol_show.add_argument("name", metavar="NAME")
+    p_pol.set_defaults(fn=_cmd_policy)
 
     p_tab = sub.add_parser("tables", help="print Tables 1 and 2")
     p_tab.set_defaults(fn=_cmd_tables)

@@ -11,6 +11,7 @@ import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass, field
+from typing import Optional
 
 
 def _fields_from_dict(cls, data: dict) -> dict:
@@ -124,6 +125,82 @@ class AdaptiveConfig(_SerializableConfig):
     @classmethod
     def from_dict(cls, data: dict) -> "AdaptiveConfig":
         return cls(**_fields_from_dict(cls, data))
+
+
+@dataclass(frozen=True)
+class PolicyConfig(_SerializableConfig):
+    """A named LLC policy plus its parameters, as configuration.
+
+    The carrier every layer threads policy choice through: the CLI parses
+    ``--policy NAME[:k=v,...]`` into one, :class:`~repro.gpu.system.
+    GPUSystem` accepts one, and the campaign's :class:`~repro.experiments.
+    campaign.RunSpec` serializes its fields into the content key.  ``name``
+    may be any name registered in :mod:`repro.policy` (aliases included);
+    ``params`` is a sorted tuple of ``(key, value)`` pairs so the config
+    stays hashable and serializes canonically.  Validation against the
+    policy's declared schema happens at instantiation time (the registry
+    owns the schemas; this module stays dependency-free).
+    """
+
+    name: str = "static-shared"
+    params: tuple = ()
+
+    def __post_init__(self):
+        # Normalize whatever ordering the caller used: one canonical form
+        # per (name, params) so equal configs serialize identically.
+        object.__setattr__(self, "params",
+                           tuple(sorted((str(k), v) for k, v in self.params)))
+
+    @staticmethod
+    def of(name: str, params: Optional[dict] = None) -> "PolicyConfig":
+        """Build from a name and a plain parameter dict."""
+        return PolicyConfig(name=name, params=tuple((params or {}).items()))
+
+    @staticmethod
+    def from_spec(text: str) -> "PolicyConfig":
+        """Parse the CLI grammar ``NAME[:key=value,...]``.
+
+        Values parse as JSON; bare words fall back to strings.
+        """
+        name, sep, rest = text.partition(":")
+        name = name.strip()
+        if not name:
+            raise ValueError(f"policy spec {text!r} has no name")
+        params = {}
+        if sep and rest.strip():
+            for token in rest.split(","):
+                key, eq, raw = token.partition("=")
+                key = key.strip()
+                if not eq or not key:
+                    raise ValueError(
+                        f"policy parameter {token!r} is not of the form "
+                        f"key=value (in {text!r})")
+                try:
+                    value = json.loads(raw.strip())
+                except ValueError:
+                    value = raw.strip()
+                params[key] = value
+        return PolicyConfig.of(name, params)
+
+    def params_dict(self) -> dict:
+        return {k: v for k, v in self.params}
+
+    def spec(self) -> str:
+        """The canonical CLI-grammar rendering (inverse of
+        :meth:`from_spec`)."""
+        if not self.params:
+            return self.name
+        body = ",".join(f"{k}={json.dumps(v)}" for k, v in self.params)
+        return f"{self.name}:{body}"
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "params": self.params_dict()}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PolicyConfig":
+        kwargs = _fields_from_dict(cls, data)
+        return cls.of(kwargs.get("name", "static-shared"),
+                      kwargs.get("params") or {})
 
 
 @dataclass(frozen=True)

@@ -28,6 +28,9 @@ from repro.experiments.runner import (
 
 #: Figure number -> driver module path, the one registry every consumer
 #: (CLI ``figure`` verb, report builder, tests) resolves figures through.
+#: Keys are paper figure numbers plus named extension experiments (the
+#: policy shootout is not a paper figure; it measures the paper's policy
+#: against the rest of the registered LLC-policy space).
 FIGURE_MODULES = {
     "2": "repro.experiments.fig02_shared_vs_private",
     "3": "repro.experiments.fig03_locality",
@@ -38,7 +41,18 @@ FIGURE_MODULES = {
     "14": "repro.experiments.fig14_noc_energy",
     "15": "repro.experiments.fig15_multiprogram",
     "16": "repro.experiments.fig16_sensitivity",
+    "policy_shootout": "repro.experiments.figx_policy_shootout",
 }
+
+
+def figure_sort_key(number: str) -> tuple:
+    """Display/run order for :data:`FIGURE_MODULES` keys: numeric figures
+    first in numeric order, then named extension experiments
+    alphabetically (``sorted(FIGURE_MODULES, key=int)`` stopped working
+    the day a non-numeric key joined the registry)."""
+    if number.isdigit():
+        return (0, int(number), "")
+    return (1, 0, number)
 
 
 def figure_module(number: str):
@@ -61,6 +75,7 @@ __all__ = [
     "FIGURE_MODULES",
     "experiment_config",
     "figure_module",
+    "figure_sort_key",
     "run_benchmark",
     "run_pair",
     "scaled_adaptive_config",

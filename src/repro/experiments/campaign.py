@@ -35,12 +35,32 @@ from dataclasses import dataclass
 from multiprocessing import get_context
 from typing import Iterable, Optional, Sequence
 
-from repro.config import GPUConfig, canonical_key
+from repro.config import GPUConfig, PolicyConfig, canonical_key
 from repro.gpu.system import RunResult
+from repro.policy import canonical_policy_params
 
 #: Bump when the serialization format or simulator semantics change in a way
-#: that invalidates previously cached results.
-CACHE_VERSION = 1
+#: that invalidates previously cached results.  v2: the policy layer — specs
+#: carry ``policy_params`` and ``mode`` accepts any registered policy name,
+#: so every pre-policy cached record must be re-simulated, not reused.
+CACHE_VERSION = 2
+
+
+def _canonical_policy_params(mode: str, params) -> tuple:
+    """Sorted, schema-coerced ``((key, value), ...)`` for the content key.
+
+    Coercion (``"0.5"`` vs ``0.5`` vs ``1`` vs ``1.0``) happens here so
+    equivalent parameterizations hash identically; defaults are *not*
+    filled in, so later-added parameters cannot re-key old specs.
+    """
+    if not params:
+        return ()
+    if isinstance(params, dict):
+        items = params.items()
+    else:
+        items = tuple(params)
+    coerced = canonical_policy_params(mode, dict(items))
+    return tuple(sorted(coerced.items()))
 
 
 @dataclass(frozen=True)
@@ -53,7 +73,11 @@ class RunSpec:
 
     Attributes:
         benchmark: catalog abbreviation of the (first) program.
-        mode: LLC policy — ``"shared"``, ``"private"`` or ``"adaptive"``.
+        mode: LLC policy — any name registered in :mod:`repro.policy`
+            (``"shared"``/``"private"``/``"adaptive"`` aliases included).
+        policy_params: sorted ``((key, value), ...)`` policy parameters;
+            constructors accept a plain dict.  Part of the content key —
+            two specs differing only in parameters hash differently.
         cfg: the full :class:`~repro.config.GPUConfig` (part of the key:
             two specs differing only in config hash differently).
         scale: trace-length multiplier (1.0 = calibrated full size).
@@ -73,40 +97,53 @@ class RunSpec:
     max_kernels: int = 3
     collect_locality: bool = False
     with_energy: bool = False
+    policy_params: tuple = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "policy_params",
+                           _canonical_policy_params(self.mode,
+                                                    self.policy_params))
 
     # ------------------------------------------------------- constructors
     @staticmethod
     def single(benchmark: str, mode: str, cfg: Optional[GPUConfig] = None,
                scale: float = 1.0, num_ctas: Optional[int] = None,
                max_kernels: int = 3, collect_locality: bool = False,
-               with_energy: bool = False) -> "RunSpec":
+               with_energy: bool = False,
+               policy_params: Optional[dict] = None) -> "RunSpec":
         """A one-benchmark run (the :func:`run_benchmark` shape)."""
         from repro.experiments.runner import experiment_config
 
+        mode, policy_params = _split_policy(mode, policy_params)
         return RunSpec(benchmark=benchmark, mode=mode,
                        cfg=cfg if cfg is not None else experiment_config(),
                        scale=scale, num_ctas=num_ctas,
                        max_kernels=max_kernels,
                        collect_locality=collect_locality,
-                       with_energy=with_energy)
+                       with_energy=with_energy,
+                       policy_params=tuple((policy_params or {}).items()))
 
     @staticmethod
     def pair(abbr_a: str, abbr_b: str, mode: str,
              cfg: Optional[GPUConfig] = None, scale: float = 1.0,
-             max_kernels: int = 1) -> "RunSpec":
+             max_kernels: int = 1,
+             policy_params: Optional[dict] = None) -> "RunSpec":
         """A two-program mix (the :func:`run_pair` shape)."""
         from repro.experiments.runner import experiment_config
 
+        mode, policy_params = _split_policy(mode, policy_params)
         return RunSpec(benchmark=abbr_a, mode=mode,
                        cfg=cfg if cfg is not None else experiment_config(),
                        scale=scale, pair_with=abbr_b,
-                       max_kernels=max_kernels)
+                       max_kernels=max_kernels,
+                       policy_params=tuple((policy_params or {}).items()))
 
     # ------------------------------------------------------ serialization
     def to_dict(self) -> dict:
         return {
             "benchmark": self.benchmark,
             "mode": self.mode,
+            "policy_params": {k: v for k, v in self.policy_params},
             "cfg": self.cfg.to_dict(),
             "scale": self.scale,
             "pair_with": self.pair_with,
@@ -120,6 +157,8 @@ class RunSpec:
     def from_dict(cls, data: dict) -> "RunSpec":
         kwargs = dict(data)
         kwargs["cfg"] = GPUConfig.from_dict(kwargs["cfg"])
+        params = kwargs.pop("policy_params", None) or {}
+        kwargs["policy_params"] = tuple(params.items())
         return cls(**kwargs)
 
     def cache_key(self) -> str:
@@ -131,24 +170,41 @@ class RunSpec:
         name = self.benchmark
         if self.pair_with:
             name = f"{name}+{self.pair_with}"
-        return f"{name}/{self.mode}@{self.scale:g}"
+        policy = PolicyConfig(self.mode, self.policy_params).spec()
+        return f"{name}/{policy}@{self.scale:g}"
+
+
+def _split_policy(mode, policy_params: Optional[dict]
+                  ) -> tuple[str, Optional[dict]]:
+    """Let constructors take a :class:`~repro.config.PolicyConfig` (or a
+    ``"name:k=v"`` spec string) wherever a bare policy name is accepted."""
+    if isinstance(mode, PolicyConfig):
+        cfg = mode
+    elif isinstance(mode, str) and ":" in mode:
+        cfg = PolicyConfig.from_spec(mode)
+    else:
+        return mode, policy_params
+    merged = cfg.params_dict()
+    merged.update(policy_params or {})
+    return cfg.name, merged
 
 
 def execute_spec(spec: RunSpec) -> RunResult:
     """Run one spec to completion (no caching — the campaign's worker)."""
     from repro.experiments.runner import run_benchmark, run_pair
 
+    params = {k: v for k, v in spec.policy_params} or None
     if spec.pair_with is not None:
         return run_pair(spec.benchmark, spec.pair_with, spec.mode, spec.cfg,
                         scale=spec.scale, max_kernels=spec.max_kernels,
                         num_ctas=spec.num_ctas,
                         collect_locality=spec.collect_locality,
-                        with_energy=spec.with_energy)
+                        with_energy=spec.with_energy, policy_params=params)
     return run_benchmark(spec.benchmark, spec.mode, spec.cfg,
                          scale=spec.scale, num_ctas=spec.num_ctas,
                          max_kernels=spec.max_kernels,
                          collect_locality=spec.collect_locality,
-                         with_energy=spec.with_energy)
+                         with_energy=spec.with_energy, policy_params=params)
 
 
 class SpecExecutionError(RuntimeError):

@@ -65,8 +65,13 @@ def _accesses_for(abbr: str, scale: float) -> int:
 def run_benchmark(abbr: str, mode: str, cfg: Optional[GPUConfig] = None,
                   scale: float = 1.0, num_ctas: Optional[int] = None,
                   max_kernels: int = 3, collect_locality: bool = False,
-                  with_energy: bool = False) -> RunResult:
+                  with_energy: bool = False,
+                  policy_params: Optional[dict] = None) -> RunResult:
     """Run one catalog benchmark under one LLC policy.
+
+    ``mode`` is any name registered in :mod:`repro.policy` (the historical
+    triad included); ``policy_params`` are that policy's parameter
+    overrides.
 
     Kernel boundaries matter: they re-synchronize the CTA convoys that
     create the shared-LLC contention (real DNNs launch one kernel per
@@ -84,7 +89,8 @@ def run_benchmark(abbr: str, mode: str, cfg: Optional[GPUConfig] = None,
     workload = generate_workload(benchmark(abbr), num_ctas=num_ctas,
                                  total_accesses=_accesses_for(abbr, scale),
                                  max_kernels=max_kernels)
-    system = GPUSystem(cfg, workload, mode=mode,
+    system = GPUSystem(cfg, workload, policy=mode,
+                       policy_params=policy_params,
                        collect_locality=collect_locality)
     result = system.run()
     if with_energy:
@@ -96,7 +102,8 @@ def run_pair(abbr_a: str, abbr_b: str, mode: str,
              cfg: Optional[GPUConfig] = None, scale: float = 1.0,
              max_kernels: int = 1, num_ctas: Optional[int] = None,
              collect_locality: bool = False,
-             with_energy: bool = False) -> RunResult:
+             with_energy: bool = False,
+             policy_params: Optional[dict] = None) -> RunResult:
     """Run a two-program mix (Figure 15).
 
     Accepts the same optional flags as :func:`run_benchmark` so a campaign
@@ -109,7 +116,8 @@ def run_pair(abbr_a: str, abbr_b: str, mode: str,
         num_ctas = 2 * cfg.num_sms
     mp = make_pair(abbr_a, abbr_b, total_accesses=total,
                    num_ctas=num_ctas, max_kernels=max_kernels)
-    system = GPUSystem(cfg, mp, mode=mode, collect_locality=collect_locality)
+    system = GPUSystem(cfg, mp, policy=mode, policy_params=policy_params,
+                       collect_locality=collect_locality)
     result = system.run()
     if with_energy:
         result.energy = GPUPowerModel().report(system, result)

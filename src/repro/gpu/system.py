@@ -1,14 +1,14 @@
-"""The assembled GPU system: SMs + L1s + NoC + LLC slices + DRAM + the
-adaptive controller, driven by the discrete-event engine.
+"""The assembled GPU system: SMs + L1s + NoC + LLC slices + DRAM + a
+pluggable LLC policy, driven by the discrete-event engine.
 
-One :class:`GPUSystem` runs one workload (or a two-program mix) under one of
-three LLC policies:
-
-* ``"shared"``  — conventional shared memory-side LLC (the paper's baseline);
-* ``"private"`` — statically private per-cluster slices (write-through,
-  MC-routers bypassed from cycle 0 on the H-Xbar);
-* ``"adaptive"``— the paper's contribution: starts shared, profiles, and
-  reconfigures per Rules #1–#3.
+One :class:`GPUSystem` runs one workload (or a two-program mix) under one
+LLC policy resolved through the :mod:`repro.policy` registry — a
+registered name (``"static-shared"``, ``"static-private"``,
+``"paper-adaptive"``, ``"miss-rate-threshold"``, ``"hysteresis"``,
+``"oracle-static"``, …), a :class:`~repro.config.PolicyConfig`, or an
+:class:`~repro.policy.LLCPolicy` instance.  The historical string triad
+``"shared"``/``"private"``/``"adaptive"`` keeps working as aliases for the
+first three.
 
 Request life cycle (all times computed by threading through bandwidth
 servers, one engine event per L1 miss):
@@ -19,13 +19,14 @@ servers, one engine event per L1 miss):
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
-from repro.config import GPUConfig
-from repro.core.controller import AdaptiveController
+from repro.config import GPUConfig, PolicyConfig
 from repro.core.modes import LLCMode
 from repro.core.reconfig import ReconfigCost
+from repro.policy import LLCPolicy, create_policy
 from repro.gpu.cta import assign_ctas
 from repro.gpu.sm import StreamingMultiprocessor
 from repro.mem.address_map import make_mapping
@@ -174,7 +175,12 @@ class Request:
 
 
 class _ProgramContext:
-    """One co-running application: its workload, SMs, and controller."""
+    """One co-running application: its workload, SMs, and controller.
+
+    ``controller`` is whatever mode-driving object the active LLC policy
+    installed (``None`` for static policies); see the duck-typed surface
+    documented in :mod:`repro.policy.base`.
+    """
 
     def __init__(self, program_id: int, workload: Workload, sm_ids: list[int]):
         self.program_id = program_id
@@ -183,7 +189,7 @@ class _ProgramContext:
         self.kernel_idx = 0
         self.pending_sms = 0
         self.done = False
-        self.controller: Optional[AdaptiveController] = None
+        self.controller = None
         self.static_mode = LLCMode.SHARED
 
     @property
@@ -193,17 +199,69 @@ class _ProgramContext:
         return self.static_mode
 
 
-class GPUSystem:
-    """A complete simulated GPU bound to one workload and LLC policy."""
+def _resolve_policy(policy, policy_params) -> tuple[LLCPolicy, str]:
+    """Normalize the ``policy`` argument to ``(instance, reported_name)``.
 
-    def __init__(self, cfg: GPUConfig, workload, mode: str = "shared",
+    The reported name is what :attr:`RunResult.mode` carries: the string
+    exactly as requested (so legacy ``"adaptive"`` runs keep reporting
+    ``"adaptive"``), or the canonical ``NAME`` for instance/config input.
+    """
+    if policy is None:
+        policy = "shared"  # the historical default
+    if isinstance(policy, LLCPolicy):
+        if policy_params:
+            raise ValueError(
+                "policy_params cannot accompany an LLCPolicy instance "
+                "(construct the instance with its parameters instead)")
+        return policy, type(policy).NAME
+    if isinstance(policy, PolicyConfig):
+        params = dict(policy.params_dict())
+        params.update(policy_params or {})
+        return create_policy(policy.name, params), policy.name
+    if isinstance(policy, str):
+        return create_policy(policy, policy_params), policy
+    raise TypeError(
+        f"policy must be a name, PolicyConfig or LLCPolicy instance, "
+        f"got {type(policy).__name__}")
+
+
+class GPUSystem:
+    """A complete simulated GPU bound to one workload and LLC policy.
+
+    Args:
+        cfg: the architecture configuration (Table 1 baseline + overrides).
+        workload: a :class:`~repro.workloads.trace.Workload` or
+            :class:`~repro.workloads.multiprogram.MultiProgramWorkload`.
+        policy: the LLC policy — a registered name or alias (``"shared"``,
+            ``"static-private"``, ``"hysteresis"``, …), a
+            :class:`~repro.config.PolicyConfig`, or a ready
+            :class:`~repro.policy.LLCPolicy` instance.
+        policy_params: parameter overrides for a name/config ``policy``
+            (rejected alongside an instance, which carries its own).
+        mode: deprecated alias for ``policy`` (the historical kwarg name);
+            passing both raises.
+    """
+
+    def __init__(self, cfg: GPUConfig,
+                 workload,
+                 policy: Union[str, PolicyConfig, LLCPolicy, None] = None,
                  collect_locality: bool = False,
-                 locality_window: float = 1000.0):
-        if mode not in ("shared", "private", "adaptive"):
-            raise ValueError(f"unknown LLC policy {mode!r}")
+                 locality_window: float = 1000.0,
+                 *,
+                 policy_params: Optional[dict] = None,
+                 mode: Optional[str] = None):
+        if mode is not None:
+            if policy is not None:
+                raise ValueError(
+                    "pass either policy= or the deprecated mode=, not both")
+            warnings.warn(
+                "GPUSystem(mode=...) is deprecated; use policy=",
+                DeprecationWarning, stacklevel=2)
+            policy = mode
+        self.policy, self.mode_name = _resolve_policy(policy, policy_params)
         cfg.validate()
         self.cfg = cfg
-        self.mode_name = mode
+        self.workload = workload
         self.engine = Engine()
         self.mapping = make_mapping(cfg.address_mapping,
                                     cfg.num_memory_controllers,
@@ -243,7 +301,8 @@ class GPUSystem:
         self._shared_route: dict[int, tuple[int, int]] = {}
         self._mc_of: dict[int, int] = {}
         self.programs = self._build_programs(workload)
-        self._configure_mode()
+        self.policy.bind(self)
+        self.policy.setup()
 
     # ------------------------------------------------------------ assembly
     def _build_programs(self, workload) -> list[_ProgramContext]:
@@ -263,29 +322,17 @@ class GPUSystem:
             sm.program_id = 0
         return [_ProgramContext(0, workload, list(range(self.cfg.num_sms)))]
 
-    def _configure_mode(self) -> None:
-        if self.mode_name == "private":
-            for prog in self.programs:
-                prog.static_mode = LLCMode.PRIVATE
-            for sl in self.llc_slices:
-                sl.set_write_policy(write_through=True)
-            self._update_bypass(0.0)
-        elif self.mode_name == "adaptive":
-            for prog in self.programs:
-                prog.controller = AdaptiveController(
-                    self.cfg, self.engine, self,
-                    on_transition=self._make_transition_hook(prog),
-                    force_shared=prog.workload.uses_atomics,
-                )
-
-    def _make_transition_hook(self, prog: _ProgramContext):
+    def transition_hook(self, prog: _ProgramContext):
+        """The ``on_transition`` callback a policy's controller for
+        ``prog`` must invoke after every mode change: stalls the SMs for
+        the reconfiguration cost and re-evaluates the MC-router bypass."""
         def hook(now: float, mode: LLCMode, cost: ReconfigCost) -> None:
             self._stall_all(now + cost.stall_cycles)
-            self._update_bypass(now)
+            self.update_bypass(now)
         return hook
 
     # -------------------------------------------------------------- bypass
-    def _update_bypass(self, now: float) -> None:
+    def update_bypass(self, now: float) -> None:
         """Gate the MC-routers iff every program runs private (Section 4.1:
         mixed-mode co-execution cannot bypass)."""
         topo = self.topology
@@ -507,14 +554,17 @@ class GPUSystem:
     # ------------------------------------------------------- request paths
     def _profile(self, sm: StreamingMultiprocessor, key: int, mc: int,
                  slice_global: int, hit: bool) -> None:
-        """Feed the adaptive profiler (only meaningful under shared mode,
-        where the outcome of the *shared* organization is being measured)."""
+        """Feed the policy's profiler, if it installed one (only meaningful
+        under shared mode, where the outcome of the *shared* organization
+        is being measured).  Controllers without per-access observation
+        declare ``profiler = None`` and cost one attribute check here."""
         prog = self.programs[sm.program_id]
         ctrl = prog.controller
-        if (ctrl is not None and prog.mode is LLCMode.SHARED
-                and ctrl.profiler.active):
-            ctrl.profiler.observe_request(key, sm.cluster_id, mc,
-                                          slice_global, hit)
+        if ctrl is not None and prog.mode is LLCMode.SHARED:
+            profiler = ctrl.profiler
+            if profiler is not None and profiler.active:
+                profiler.observe_request(key, sm.cluster_id, mc,
+                                         slice_global, hit)
 
     # Requests advance through the pipeline via one event per queue
     # boundary (slice arrival, DRAM return, reply launch).  Each shared
@@ -664,20 +714,7 @@ class GPUSystem:
         dram_reads = sum(mc.read_requests for mc in self.mcs)
         dram_writes = sum(mc.write_requests for mc in self.mcs)
 
-        transitions = stall = in_private = 0.0
-        mode_history: list = []
-        decisions: list = []
-        for prog in self.programs:
-            ctrl = prog.controller
-            if ctrl is None:
-                continue
-            transitions += ctrl.transitions
-            stall += ctrl.total_stall_cycles
-            in_private += ctrl.time_in_private(cycles)
-            mode_history.extend((t, m.value, r) for t, m, r in ctrl.mode_history)
-            decisions.extend(ctrl.decisions)
-        if self.mode_name == "private":
-            in_private = cycles * len(self.programs)
+        policy_stats = self.policy.collect_stats(cycles)
 
         gated = 0.0
         if hasattr(self.topology, "gated_time"):
@@ -713,12 +750,12 @@ class GPUSystem:
             dram_reads=dram_reads,
             dram_writes=dram_writes,
             dram_bytes=float(dram_reads + dram_writes) * self.cfg.line_bytes,
-            transitions=int(transitions),
-            stall_cycles=stall,
-            time_in_private=in_private / len(self.programs),
+            transitions=int(policy_stats.transitions),
+            stall_cycles=policy_stats.stall_cycles,
+            time_in_private=policy_stats.time_in_private / len(self.programs),
             gated_cycles=gated,
-            mode_history=sorted(mode_history),
-            decisions=decisions,
+            mode_history=sorted(policy_stats.mode_history),
+            decisions=policy_stats.decisions,
             programs=program_stats,
             locality_fractions=fractions,
         )

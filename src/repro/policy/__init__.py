@@ -1,0 +1,60 @@
+"""Pluggable LLC-policy layer: registry-driven cache-mode controllers.
+
+Importing this package registers the built-in policies:
+
+========================  ====================================================
+``static-shared``         address-indexed shared LLC (alias: ``shared``)
+``static-private``        cluster-indexed private slices (alias: ``private``)
+``paper-adaptive``        the paper's Rules #1–#3 controller
+                          (alias: ``adaptive``)
+``miss-rate-threshold``   windowed miss rate vs two thresholds
+``hysteresis``            thresholds + consecutive-window dwell
+``oracle-static``         best-of-both-statics via auxiliary probe runs
+========================  ====================================================
+
+Resolve names through :func:`create_policy` / :func:`policy_class`, parse
+CLI specs (``name:k=v,...``) with :func:`parse_policy_spec`, and list the
+registry with :func:`available_policies` (the ``repro policy list`` verb).
+New policies subclass :class:`LLCPolicy` and register with the
+:func:`register_policy` decorator; see ``docs/ARCHITECTURE.md`` ("Policy
+layer").
+"""
+
+from repro.policy.base import (
+    LLCPolicy,
+    PolicyParam,
+    PolicyStats,
+    mode_time_in_private,
+)
+from repro.policy.registry import (
+    available_policies,
+    canonical_policy_name,
+    canonical_policy_params,
+    create_policy,
+    format_policy_spec,
+    parse_policy_spec,
+    policy_class,
+    register_policy,
+)
+
+# Importing the implementation modules populates the registry.
+from repro.policy import static as _static  # noqa: F401  (registration)
+from repro.policy import adaptive as _adaptive  # noqa: F401
+from repro.policy import threshold as _threshold  # noqa: F401
+from repro.policy import hysteresis as _hysteresis  # noqa: F401
+from repro.policy import oracle as _oracle  # noqa: F401
+
+__all__ = [
+    "LLCPolicy",
+    "PolicyParam",
+    "PolicyStats",
+    "available_policies",
+    "canonical_policy_name",
+    "canonical_policy_params",
+    "create_policy",
+    "format_policy_spec",
+    "mode_time_in_private",
+    "parse_policy_spec",
+    "policy_class",
+    "register_policy",
+]

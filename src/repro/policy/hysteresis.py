@@ -1,0 +1,84 @@
+"""``hysteresis``: the threshold policy with a configurable dwell.
+
+Reconfiguration is not free (drain + writeback/invalidate + router
+power-gating, Section 4.1), so a policy that flips on every noisy window
+pays for it.  This variant requires the switch condition to hold for
+``dwell`` *consecutive* evaluation windows before committing, damping
+oscillation at the cost of reaction latency — the classic
+stability/agility trade the shootout lets you sweep (``--policy
+hysteresis:dwell=4``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.modes import LLCMode
+from repro.policy.base import LLCPolicy, PolicyParam
+from repro.policy.interval import IntervalModeController
+from repro.policy.registry import register_policy
+
+
+class _HysteresisController(IntervalModeController):
+    def __init__(self, *args, low: float, high: float, dwell: int, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.low = low
+        self.high = high
+        self.dwell = dwell
+        self._pending: Optional[LLCMode] = None
+        self._streak = 0
+
+    def evaluate(self, miss_rate: float
+                 ) -> Optional[tuple[LLCMode, str]]:
+        if self.mode is LLCMode.SHARED and miss_rate <= self.low:
+            target, rule = LLCMode.PRIVATE, "hysteresis_low"
+        elif self.mode is LLCMode.PRIVATE and miss_rate >= self.high:
+            target, rule = LLCMode.SHARED, "hysteresis_high"
+        else:
+            self._pending = None
+            self._streak = 0
+            return None
+        if self._pending is not target:
+            self._pending = target
+            self._streak = 0
+        self._streak += 1
+        if self._streak < self.dwell:
+            return None
+        self._pending = None
+        self._streak = 0
+        return target, rule
+
+
+@register_policy
+class HysteresisPolicy(LLCPolicy):
+    """Threshold policy that waits ``dwell`` consecutive windows before
+    switching, trading reaction speed for transition-cost stability."""
+
+    NAME = "hysteresis"
+    DESCRIPTION = ("miss-rate thresholds with a consecutive-window dwell "
+                   "before any transition")
+    PARAMS = (
+        PolicyParam("interval", int, 1_500,
+                    "cycles between miss-rate evaluations"),
+        PolicyParam("low", float, 0.35,
+                    "shared-mode miss rate at or below which to arm private"),
+        PolicyParam("high", float, 0.60,
+                    "private-mode miss rate at or above which to arm shared"),
+        PolicyParam("dwell", int, 2,
+                    "consecutive qualifying windows required to switch"),
+        PolicyParam("min_samples", int, 128,
+                    "minimum LLC accesses per window to act on"),
+    )
+
+    def setup(self) -> None:
+        system = self.system
+        p = self.params
+        for prog in system.programs:
+            prog.controller = _HysteresisController(
+                system.cfg, system.engine, system,
+                interval_cycles=p["interval"],
+                min_samples=p["min_samples"],
+                on_transition=system.transition_hook(prog),
+                force_shared=prog.workload.uses_atomics,
+                low=p["low"], high=p["high"], dwell=p["dwell"],
+            )

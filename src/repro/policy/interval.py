@@ -1,0 +1,137 @@
+"""Interval-tick controller machinery for lightweight heuristic policies.
+
+:class:`IntervalModeController` is the reusable per-program driver behind
+``miss-rate-threshold`` and ``hysteresis``: an engine event fires every
+``interval`` cycles, the controller reads the *global* LLC hit/miss
+counters accumulated since the previous tick (no per-access hooks — the
+request hot path stays untouched), and a subclass decides whether to flip
+the program's mode.  Transitions pay the full
+:class:`~repro.core.reconfig.Reconfigurator` cost and stall the SMs
+through the system's transition hook, exactly like the paper's controller.
+
+Because the observation window is the live organization's own miss rate,
+these policies are deliberately *cheaper and dumber* than paper-adaptive
+(no ATD, no bandwidth model) — that contrast is what the policy-shootout
+experiment measures.  Multi-program mixes share the global counters; the
+profiler-based paper policy is the right tool when per-program attribution
+matters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.config import GPUConfig
+from repro.core.bandwidth_model import Decision
+from repro.core.modes import LLCMode
+from repro.core.reconfig import Reconfigurator
+from repro.policy.base import mode_time_in_private
+from repro.sim.engine import Engine, Event
+
+
+class IntervalModeController:
+    """Drives one program's LLC mode from windowed global miss rates.
+
+    Exposes the controller surface
+    :class:`~repro.gpu.system.GPUSystem` expects (``mode``,
+    ``on_kernel_launch``, ``shutdown``, the bookkeeping properties, and
+    ``profiler = None`` so the per-access profiling hook stays idle).
+    """
+
+    profiler = None  # no per-access observation: hot path stays untouched
+
+    def __init__(self, cfg: GPUConfig, engine: Engine, system,
+                 interval_cycles: int, min_samples: int,
+                 on_transition: Optional[Callable] = None,
+                 force_shared: bool = False):
+        self.cfg = cfg
+        self.engine = engine
+        self.system = system
+        self.interval_cycles = interval_cycles
+        self.min_samples = min_samples
+        self.on_transition = on_transition
+        self.force_shared = force_shared
+        self.mode = LLCMode.SHARED
+        self.reconfigurator = Reconfigurator(cfg.adaptive)
+        self.decisions: list[tuple[float, Decision]] = []
+        self.mode_history: list[tuple[float, LLCMode, str]] = []
+        self._events: list[Event] = []
+        self._started = False
+        self._seen_accesses = 0
+        self._seen_hits = 0
+
+    # --------------------------------------------------------------- hooks
+    def on_kernel_launch(self, now: float) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.mode_history.append((now, self.mode, "start"))
+        self._baseline()
+        self._events.append(self.engine.schedule_after(self.interval_cycles,
+                                                       self._tick))
+
+    def shutdown(self) -> None:
+        for ev in self._events:
+            ev.cancel()
+        self._events.clear()
+
+    # --------------------------------------------------------------- ticks
+    def _baseline(self) -> None:
+        acc = hits = 0
+        for sl in self.system.llc_slices:
+            acc += sl.accesses
+            hits += sl.hits
+        self._seen_accesses = acc
+        self._seen_hits = hits
+
+    def _tick(self) -> None:
+        now = self.engine.now
+        prev_acc, prev_hits = self._seen_accesses, self._seen_hits
+        self._baseline()
+        window = self._seen_accesses - prev_acc
+        if window >= self.min_samples:
+            miss_rate = 1.0 - (self._seen_hits - prev_hits) / window
+            verdict = None if self.force_shared else self.evaluate(miss_rate)
+            if verdict is not None:
+                to_mode, rule = verdict
+                self.decisions.append((now, self._decision(to_mode, rule,
+                                                           miss_rate)))
+                self._transition(now, to_mode, rule)
+        self._events.append(self.engine.schedule_after(self.interval_cycles,
+                                                       self._tick))
+
+    def evaluate(self, miss_rate: float
+                 ) -> Optional[tuple[LLCMode, str]]:
+        """Subclass decision point: the windowed miss rate of the *current*
+        organization in, ``(target_mode, rule)`` out (or ``None``)."""
+        raise NotImplementedError
+
+    def _decision(self, to_mode: LLCMode, rule: str,
+                  miss_rate: float) -> Decision:
+        # The window observed whichever organization was live; the other
+        # organization was not measured (these policies carry no ATD), so
+        # its field is recorded as 0.0.
+        shared_mr = miss_rate if self.mode is LLCMode.SHARED else 0.0
+        private_mr = miss_rate if self.mode is LLCMode.PRIVATE else 0.0
+        return Decision(mode=to_mode, rule=rule, shared_miss_rate=shared_mr,
+                        private_miss_rate=private_mr,
+                        shared_bw=0.0, private_bw=0.0)
+
+    def _transition(self, now: float, to_mode: LLCMode, reason: str) -> None:
+        cost = self.reconfigurator.transition(self.system, now, to_mode)
+        self.mode = to_mode
+        self.mode_history.append((now, to_mode, reason))
+        if self.on_transition is not None:
+            self.on_transition(now, to_mode, cost)
+
+    # --------------------------------------------------------------- stats
+    @property
+    def transitions(self) -> int:
+        return self.reconfigurator.transitions
+
+    @property
+    def total_stall_cycles(self) -> float:
+        return self.reconfigurator.total_stall_cycles
+
+    def time_in_private(self, end_time: float) -> float:
+        return mode_time_in_private(self.mode_history, end_time)

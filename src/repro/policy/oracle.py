@@ -1,0 +1,82 @@
+"""``oracle-static``: the best static organization, chosen with hindsight.
+
+Before the measured run starts, the policy executes the workload twice in
+*auxiliary* simulations — once all-shared, once all-private — compares the
+chosen metric, and statically configures the real run as the winner.  The
+simulator is deterministic, so the measured run is byte-identical to the
+winning static run; what the oracle adds is the per-workload *choice*,
+which is exactly the upper bound a dynamic policy (paper-adaptive,
+threshold, hysteresis) is trying to approximate online.  The policy
+shootout reports every dynamic policy against this bound.
+
+Cost: ~3× the simulation time of a static run (two probes + the measured
+run).  Workloads that use global atomics are pinned shared, mirroring the
+paper's Section 4.1 policy, without probing.
+"""
+
+from __future__ import annotations
+
+from repro.core.bandwidth_model import Decision
+from repro.core.modes import LLCMode
+from repro.policy.base import LLCPolicy, PolicyParam, PolicyStats
+from repro.policy.registry import register_policy
+
+
+@register_policy
+class OracleStaticPolicy(LLCPolicy):
+    """Probe both static organizations offline, run the better one."""
+
+    NAME = "oracle-static"
+    DESCRIPTION = ("best-of-both-statics per workload via two auxiliary "
+                   "runs; the dynamic policies' upper bound")
+    PARAMS = (
+        PolicyParam("metric", str, "ipc",
+                    "probe metric: higher-is-better 'ipc' or "
+                    "lower-is-better 'cycles'", choices=("ipc", "cycles")),
+    )
+
+    def __init__(self, **params):
+        super().__init__(**params)
+        self.chosen = LLCMode.SHARED
+        self._decisions: list[tuple[float, Decision]] = []
+
+    def setup(self) -> None:
+        # Imported here: gpu.system imports the policy package at load time.
+        from repro.gpu.system import GPUSystem
+
+        system = self.system
+        if any(p.workload.uses_atomics for p in system.programs):
+            self.chosen = LLCMode.SHARED  # Section 4.1: atomics pin shared
+        else:
+            shared = GPUSystem(system.cfg, system.workload,
+                               policy="static-shared").run()
+            private = GPUSystem(system.cfg, system.workload,
+                                policy="static-private").run()
+            if self.params["metric"] == "cycles":
+                private_wins = private.cycles < shared.cycles
+            else:
+                private_wins = private.ipc > shared.ipc
+            self.chosen = LLCMode.PRIVATE if private_wins else LLCMode.SHARED
+            # Decision record: miss rates are the probes' measurements; the
+            # bandwidth fields carry the probes' IPCs (documented reuse —
+            # the oracle has real end-to-end numbers, not model estimates).
+            self._decisions.append((0.0, Decision(
+                mode=self.chosen,
+                rule="oracle_private" if private_wins else "oracle_shared",
+                shared_miss_rate=shared.llc_miss_rate,
+                private_miss_rate=private.llc_miss_rate,
+                shared_bw=shared.ipc, private_bw=private.ipc)))
+        if self.chosen is LLCMode.PRIVATE:
+            for prog in system.programs:
+                prog.static_mode = LLCMode.PRIVATE
+            for sl in system.llc_slices:
+                sl.set_write_policy(write_through=True)
+            system.update_bypass(0.0)
+
+    def collect_stats(self, cycles: float) -> PolicyStats:
+        stats = super().collect_stats(cycles)
+        stats.mode_history = [(0.0, self.chosen.value, "oracle_static")]
+        stats.decisions = list(self._decisions)
+        if self.chosen is LLCMode.PRIVATE:
+            stats.time_in_private = cycles * len(self.system.programs)
+        return stats

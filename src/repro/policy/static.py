@@ -1,0 +1,51 @@
+"""The two static LLC organizations as registered policies.
+
+These are pure configuration — no controller objects, no engine events —
+so a static run's hot path is identical to the pre-policy-layer simulator.
+The legacy strings ``"shared"`` and ``"private"`` resolve here via aliases.
+"""
+
+from __future__ import annotations
+
+from repro.core.modes import LLCMode
+from repro.policy.base import LLCPolicy, PolicyStats
+from repro.policy.registry import register_policy
+
+
+@register_policy
+class StaticSharedPolicy(LLCPolicy):
+    """Conventional shared memory-side LLC (the paper's baseline)."""
+
+    NAME = "static-shared"
+    ALIASES = ("shared",)
+    DESCRIPTION = "address-indexed shared LLC, the paper's baseline"
+
+    # Programs default to LLCMode.SHARED; nothing to configure.
+
+
+@register_policy
+class StaticPrivatePolicy(LLCPolicy):
+    """Statically private per-cluster slices from cycle 0.
+
+    Slices go write-through (GPU software coherence, Section 4.1) and the
+    H-Xbar MC-routers are bypassed/gated immediately.
+    """
+
+    NAME = "static-private"
+    ALIASES = ("private",)
+    DESCRIPTION = "cluster-indexed private slices, write-through, gated NoC"
+
+    def setup(self) -> None:
+        system = self.system
+        for prog in system.programs:
+            prog.static_mode = LLCMode.PRIVATE
+        for sl in system.llc_slices:
+            sl.set_write_policy(write_through=True)
+        system.update_bypass(0.0)
+
+    def collect_stats(self, cycles: float) -> PolicyStats:
+        stats = super().collect_stats(cycles)
+        # The whole run is private for every program (the system divides
+        # by the program count when it reports time_in_private).
+        stats.time_in_private = cycles * len(self.system.programs)
+        return stats

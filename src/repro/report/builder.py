@@ -25,7 +25,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.experiments import FIGURE_MODULES, figure_module
+from repro.experiments import FIGURE_MODULES, figure_module, figure_sort_key
 from repro.experiments.campaign import Campaign
 from repro.experiments.plotting import render_chart_file
 from repro.experiments.runner import experiment_config
@@ -103,7 +103,7 @@ class ReportBuilder:
         if unknown_fmt:
             raise ValueError(f"unknown report formats: {sorted(unknown_fmt)}")
         numbers = list(figures) if figures is not None \
-            else sorted(FIGURE_MODULES, key=int)
+            else sorted(FIGURE_MODULES, key=figure_sort_key)
         unknown_fig = [n for n in numbers if n not in FIGURE_MODULES]
         if unknown_fig:
             raise ValueError(f"unknown figures: {unknown_fig}")

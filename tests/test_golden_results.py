@@ -1,12 +1,17 @@
-"""Golden-result guard for the typed-request pipeline rewrite.
+"""Golden-result guard for the simulator's refactor-safety contract.
 
-``tests/data/golden_runresults.json`` was captured from the pre-rewrite
-closure-chain pipeline (one shared, one private, one adaptive, and one
-two-program spec).  The hot-path rework — pooled ``Request`` objects,
-``Engine.schedule_call``, the L1 probe/access fold, route memoization, and
-same-instant wake coalescing — must be *pure* optimization: every
-simulation result stays byte-identical, and therefore every campaign cache
-key keeps addressing the same payload.
+``tests/data/golden_runresults.json`` holds ``RunResult.to_dict()``
+captures from the pre-hot-path-rewrite closure-chain pipeline (one shared,
+one private, one adaptive, and one two-program spec); the spec keys were
+re-captured when the policy layer added ``policy_params`` to the spec
+serialization (cache schema v2) after verifying every result stayed
+byte-identical.  Two invariants are pinned:
+
+* optimizations and refactors must leave every simulation result
+  byte-identical, so campaign cache keys keep addressing the same payload;
+* the registry-routed ``paper-adaptive`` policy is the *same machine* as
+  the historical ``"adaptive"`` string — identical results, different
+  label.
 """
 
 import json
@@ -42,3 +47,22 @@ def test_golden_covers_all_three_policies_and_a_pair():
     modes = {entry["spec"]["mode"] for entry in GOLDEN.values()}
     assert modes == {"shared", "private", "adaptive"}
     assert any(entry["spec"]["pair_with"] for entry in GOLDEN.values()), labels
+
+
+_ADAPTIVE_KEYS = [k for k in sorted(GOLDEN)
+                  if GOLDEN[k]["spec"]["mode"] == "adaptive"]
+
+
+@pytest.mark.parametrize("key", _ADAPTIVE_KEYS,
+                         ids=[GOLDEN[k]["label"] for k in _ADAPTIVE_KEYS])
+def test_paper_adaptive_policy_byte_identical_to_adaptive_golden(key):
+    """The registry-routed ``paper-adaptive`` policy must be the legacy
+    ``"adaptive"`` machinery exactly: running the golden adaptive specs
+    under the canonical policy name reproduces every captured field
+    byte-for-byte (only the requested-name label may differ)."""
+    entry = GOLDEN[key]
+    spec = RunSpec.from_dict({**entry["spec"], "mode": "paper-adaptive"})
+    result = execute_spec(spec).to_dict()
+    assert result == {**entry["result"], "mode": "paper-adaptive"}, (
+        f"{entry['label']}: paper-adaptive diverged from the golden "
+        f"'adaptive' capture")

@@ -19,7 +19,7 @@ def small_cfg(**kw):
 def run(abbr="VA", mode="shared", n=4000, kernels=1, **cfg_kw):
     cfg = small_cfg(**cfg_kw)
     w = build(abbr, total_accesses=n, num_ctas=160, max_kernels=kernels)
-    return GPUSystem(cfg, w, mode=mode).run()
+    return GPUSystem(cfg, w, policy=mode).run()
 
 
 def test_run_completes_and_reports():
@@ -36,7 +36,7 @@ def test_run_completes_and_reports():
 def test_instructions_match_workload():
     cfg = small_cfg()
     w = build("HG", total_accesses=4000, num_ctas=160, max_kernels=1)
-    r = GPUSystem(cfg, w, mode="shared").run()
+    r = GPUSystem(cfg, w, policy="shared").run()
     assert r.instructions == pytest.approx(w.total_instructions)
 
 
@@ -56,7 +56,7 @@ def test_all_modes_complete(mode):
 def test_private_mode_gates_hxbar_from_start():
     cfg = small_cfg()
     w = build("VA", total_accesses=2000, num_ctas=80, max_kernels=1)
-    s = GPUSystem(cfg, w, mode="private")
+    s = GPUSystem(cfg, w, policy="private")
     r = s.run()
     assert r.gated_cycles == pytest.approx(r.cycles)
     assert r.time_in_private == pytest.approx(r.cycles)
@@ -79,15 +79,15 @@ def test_invalid_mode_rejected():
     cfg = small_cfg()
     w = build("VA", total_accesses=1000, num_ctas=80)
     with pytest.raises(ValueError):
-        GPUSystem(cfg, w, mode="magic")
+        GPUSystem(cfg, w, policy="magic")
     with pytest.raises(TypeError):
-        GPUSystem(cfg, "not a workload", mode="shared")
+        GPUSystem(cfg, "not a workload", policy="shared")
 
 
 def test_locality_collection():
     cfg = small_cfg()
     w = build("SN", total_accesses=4000, num_ctas=160, max_kernels=1)
-    r = GPUSystem(cfg, w, mode="shared", collect_locality=True).run()
+    r = GPUSystem(cfg, w, policy="shared", collect_locality=True).run()
     assert r.locality_fractions is not None
     assert sum(r.locality_fractions) == pytest.approx(1.0)
 
@@ -139,7 +139,7 @@ def test_multiprogram_run_and_stats():
     cfg = small_cfg()
     mp = make_pair("GEMM", "AN", total_accesses=8000, num_ctas=160,
                    max_kernels=1)
-    r = GPUSystem(cfg, mp, mode="adaptive").run()
+    r = GPUSystem(cfg, mp, policy="adaptive").run()
     assert len(r.programs) == 2
     names = {p.name for p in r.programs}
     assert names == {"GEMM", "AN"}
@@ -151,7 +151,7 @@ def test_multiprogram_mixed_modes_do_not_gate():
     cfg = small_cfg()
     mp = make_pair("GEMM", "RN", total_accesses=16_000, num_ctas=160,
                    max_kernels=1)
-    s = GPUSystem(cfg, mp, mode="adaptive")
+    s = GPUSystem(cfg, mp, policy="adaptive")
     r = s.run()
     modes = {p.workload.name: p.mode.value for p in s.programs}
     if modes["GEMM"] == "shared" and modes["RN"] == "private":
@@ -165,7 +165,7 @@ def test_atomics_workload_pinned_shared_under_adaptive():
                         l1_bypass_shared=True, barrier_interval=2,
                         uses_atomics=True)
     w = generate_workload(spec, num_ctas=80, total_accesses=5000)
-    r = GPUSystem(cfg, w, mode="adaptive").run()
+    r = GPUSystem(cfg, w, policy="adaptive").run()
     assert r.time_in_private == 0.0
     assert r.transitions == 0
 
@@ -185,7 +185,7 @@ def test_mshr_stalls_are_counted_at_the_stall_site():
     # full — counted stalls).
     cfg = small_cfg(max_outstanding_misses=1)
     w = build("VA", total_accesses=4000, num_ctas=160, max_kernels=1)
-    s = GPUSystem(cfg, w, mode="shared")
+    s = GPUSystem(cfg, w, policy="shared")
     r = s.run()
     assert r.cycles > 0
     assert sum(sm.mshr.stalls for sm in s.sms) > 0
@@ -194,7 +194,7 @@ def test_mshr_stalls_are_counted_at_the_stall_site():
 def test_request_pool_is_recycled():
     cfg = small_cfg()
     w = build("VA", total_accesses=3000, num_ctas=160, max_kernels=1)
-    s = GPUSystem(cfg, w, mode="shared")
+    s = GPUSystem(cfg, w, policy="shared")
     initial = len(s._req_pool)
     s.run()
     # Every in-flight request was handed back and cleared.

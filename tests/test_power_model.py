@@ -17,7 +17,7 @@ from repro.workloads.catalog import build
 def run_system(abbr="SN", mode="shared", n=8000):
     cfg = experiment_config()
     w = build(abbr, total_accesses=n, num_ctas=160, max_kernels=1)
-    s = GPUSystem(cfg, w, mode=mode)
+    s = GPUSystem(cfg, w, policy=mode)
     r = s.run()
     return s, r
 

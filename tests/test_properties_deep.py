@@ -150,7 +150,7 @@ def test_full_stack_determinism_across_seeds():
     runs = []
     for _ in range(2):
         w = build("MM", total_accesses=3000, num_ctas=32, max_kernels=2)
-        runs.append(GPUSystem(cfg, w, mode="adaptive").run())
+        runs.append(GPUSystem(cfg, w, policy="adaptive").run())
     a, b = runs
     assert a.cycles == b.cycles
     assert a.llc_accesses == b.llc_accesses

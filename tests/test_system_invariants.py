@@ -20,7 +20,7 @@ ABBRS = ["SN", "GEMM", "VA"]
 def run_system(abbr, mode, n=5000):
     cfg = experiment_config()
     w = build(abbr, total_accesses=n, num_ctas=80, max_kernels=2)
-    s = GPUSystem(cfg, w, mode=mode)
+    s = GPUSystem(cfg, w, policy=mode)
     return s, s.run(), w
 
 
@@ -110,7 +110,7 @@ def test_random_specs_run_to_completion(shared_frac, write_frac, category):
                         barrier_interval=4 if category != "neutral" else 0)
     w = generate_workload(spec, num_ctas=40, total_accesses=1500)
     cfg = experiment_config()
-    s = GPUSystem(cfg, w, mode="adaptive")
+    s = GPUSystem(cfg, w, policy="adaptive")
     r = s.run()
     assert r.instructions == pytest.approx(w.total_instructions)
     for sm in s.sms:

@@ -46,8 +46,8 @@ def test_loaded_trace_simulates_identically(tmp_path):
     save_workload(w, path)
     w2 = load_workload(path)
     cfg = experiment_config()
-    r1 = GPUSystem(cfg, w, mode="shared").run()
-    r2 = GPUSystem(cfg, w2, mode="shared").run()
+    r1 = GPUSystem(cfg, w, policy="shared").run()
+    r2 = GPUSystem(cfg, w2, policy="shared").run()
     assert r1.cycles == r2.cycles
     assert r1.llc_accesses == r2.llc_accesses
 

@@ -2,7 +2,9 @@
 
 Commands
 --------
-``run``        simulate one benchmark under one LLC policy
+``run``        simulate one benchmark under one LLC policy, or a
+               two-program mix with per-program policies
+               (``--mix GEMM:paper-adaptive+SN:static-private``)
 ``bench``      time the simulator hot path and write BENCH_hotpath.json
 ``compare``    one benchmark under all three classic policies, side by side
 ``figure``     regenerate a paper figure (2, 3, 7, 11, 12, 13, 14, 15, 16),
@@ -11,7 +13,8 @@ Commands
 ``report``     run the whole campaign and build the HTML+Markdown paper
                artifact with per-figure fidelity badges
 ``sweep``      declarative campaign sweep over benchmarks x policies x
-               config overrides
+               config overrides; ``--pairs A+B [--policy-b NAME]``
+               sweeps two-program mixes instead of singles
 ``policy``     ``policy list`` / ``policy show NAME``: the LLC-policy
                registry with parameter schemas
 ``tables``     print Tables 1 and 2
@@ -25,7 +28,10 @@ hash of the full run spec, so repeated figures and overlapping sweeps
 never re-simulate).  ``--scale`` takes a float or a named preset
 (``smoke``/``small``/``medium``/``paper``).  Policies are given as
 ``NAME[:key=value,...]`` (``repro policy list`` shows the registry), e.g.
-``--policy hysteresis:dwell=3``.
+``--policy hysteresis:dwell=3``; below ``--scale 0.25`` the interval
+policies' window parameters shrink with the trace
+(:func:`~repro.experiments.runner.scaled_policy_params`) unless given
+explicitly.
 """
 
 from __future__ import annotations
@@ -37,9 +43,11 @@ import sys
 from repro.config import PolicyConfig
 from repro.experiments import FIGURE_MODULES, figure_module, figure_sort_key
 from repro.experiments.campaign import Campaign, RunSpec
-from repro.experiments.runner import experiment_config, print_rows
+from repro.experiments.runner import experiment_config, print_rows, \
+    scaled_policy_params
 from repro.policy import available_policies, canonical_policy_name, \
     policy_class
+from repro.scenario import parse_mix
 from repro.workloads.analysis import characterize, verify_category
 from repro.workloads.catalog import ALL_ABBRS, BENCHMARKS, build
 
@@ -97,22 +105,103 @@ def _parse_policy_arg(text: str) -> PolicyConfig:
     return pc
 
 
+def _scaled_policy(policy: PolicyConfig, scale: float) -> PolicyConfig:
+    """Apply the trace-scale-derived window parameters (explicit
+    parameters always win; non-interval policies pass through)."""
+    return PolicyConfig.of(policy.name,
+                           scaled_policy_params(policy.name, scale,
+                                                policy.params_dict()))
+
+
+def _parse_mix_arg(text: str) -> list[tuple[str, PolicyConfig]]:
+    """``--mix`` values: ``BENCH[:POLICY[:k=v,...]]+BENCH[...]``, with
+    benchmarks checked against the catalog and policies against the
+    registry at parse time."""
+    try:
+        entries = parse_mix(text)
+        if not 1 <= len(entries) <= 2:
+            raise ValueError(
+                f"a mix runs one or two programs, got {len(entries)}")
+        for abbr, policy in entries:
+            if abbr not in BENCHMARKS:
+                raise ValueError(f"unknown benchmark {abbr!r} in mix "
+                                 f"(see `repro catalog`)")
+            if policy is not None:
+                canonical_policy_name(policy.name)
+                policy_class(policy.name).canonical_params(
+                    policy.params_dict())
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return entries
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.policy is not None and args.mode is not None:
         # Mirror GPUSystem: the same conflict is a hard error there.
         print("error: pass either --policy or the deprecated --mode, "
               "not both", file=sys.stderr)
         return 2
-    policy = args.policy if args.policy is not None \
+    if (args.benchmark is None) == (args.mix is None):
+        print("error: pass a benchmark or --mix, not both (and not "
+              "neither)", file=sys.stderr)
+        return 2
+    default_policy = args.policy if args.policy is not None \
         else PolicyConfig.of(args.mode or "adaptive")
     campaign = _campaign_from(args)
+    if args.mix is not None:
+        return _run_mix(args, campaign, default_policy)
+    policy = _scaled_policy(default_policy, args.scale)
     res = campaign.result(RunSpec.single(args.benchmark, policy,
                                          scale=args.scale))
-    print(f"{args.benchmark} [{policy.spec()}]: IPC {res.ipc:.2f} over "
-          f"{res.cycles:.0f} cycles")
+    # Report the spec as executed (scale-derived window parameters
+    # included), matching the --mix path and the cached RunSpec key.
+    print(f"{args.benchmark} [{policy.spec()}]: IPC {res.ipc:.2f} "
+          f"over {res.cycles:.0f} cycles")
     print(f"  LLC: miss rate {res.llc_miss_rate:.3f}, response rate "
           f"{res.llc_response_rate:.2f} flits/cycle")
     print(f"  DRAM: {res.dram_reads} reads, {res.dram_writes} writes")
+    if res.transitions or res.time_in_private:
+        print(f"  policy: {res.transitions} transitions, "
+              f"{res.time_in_private / res.cycles:.0%} time private")
+    return 0
+
+
+def _run_mix(args: argparse.Namespace, campaign: Campaign,
+             default_policy: PolicyConfig) -> int:
+    """``repro run --mix A:policy+B:policy``: a per-program-policy
+    scenario through the campaign."""
+    entries = [(abbr, _scaled_policy(policy if policy is not None
+                                     else default_policy, args.scale))
+               for abbr, policy in args.mix]
+    if len(entries) == 1:
+        (abbr, policy), = entries
+        spec = RunSpec.single(abbr, policy, scale=args.scale)
+    else:
+        (abbr_a, pol_a), (abbr_b, pol_b) = entries
+        spec = RunSpec.pair(abbr_a, abbr_b, pol_a, scale=args.scale,
+                            mode_b=pol_b)
+    res = campaign.result(spec)
+    print(f"{res.workload} [{res.mode}]: IPC {res.ipc:.2f} over "
+          f"{res.cycles:.0f} cycles")
+    print(f"  LLC: miss rate {res.llc_miss_rate:.3f}, response rate "
+          f"{res.llc_response_rate:.2f} flits/cycle")
+    if res.programs:
+        for (abbr, policy), stats in zip(entries, res.programs):
+            line = f"  {stats.name} [{stats.policy or policy.spec()}]: " \
+                   f"IPC {stats.ipc:.2f}"
+            if stats.policy:
+                # Per-program transition counts exist only for
+                # heterogeneous runs; a homogeneous mix collapses to the
+                # legacy one-policy path, whose per-program breakdown
+                # would print a fabricated 0 (the aggregate line below
+                # carries the real total).
+                line += f", {stats.transitions} transitions"
+            print(line)
+    else:
+        # One-entry mix: a single-program run, reported as one program.
+        (abbr, policy), = entries
+        print(f"  {abbr} [{policy.spec()}]: IPC {res.ipc:.2f}, "
+              f"{res.transitions} transitions")
     if res.transitions or res.time_in_private:
         print(f"  policy: {res.transitions} transitions, "
               f"{res.time_in_private / res.cycles:.0%} time private")
@@ -265,8 +354,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 return 2
             policies.append(PolicyConfig.of(name))
 
+    if args.pairs:
+        return _sweep_pairs(args, cfg, policies)
+    if args.policy_b is not None:
+        print("error: --policy-b requires --pairs (program B of a mix)",
+              file=sys.stderr)
+        return 2
     campaign = _campaign_from(args)
-    specs = [RunSpec.single(abbr, policy, cfg, scale=args.scale)
+    specs = [RunSpec.single(abbr, _scaled_policy(policy, args.scale), cfg,
+                            scale=args.scale)
              for abbr in benchmarks for policy in policies]
     results = campaign.results(specs)
     rows = []
@@ -281,6 +377,52 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "time_priv": (res.time_in_private / res.cycles
                           if res.cycles else 0.0),
         })
+    print_rows(rows)
+    print(_campaign_summary(campaign, specs))
+    return 0
+
+
+def _sweep_pairs(args: argparse.Namespace, cfg, policies) -> int:
+    """``sweep --pairs A+B,... [--policy-b POLICY]``: two-program mixes,
+    program A sweeping the policy columns, program B pinned to
+    ``--policy-b`` (default: program A's policy, the homogeneous mix)."""
+    pairs = []
+    for token in args.pairs.split(","):
+        parts = [p.strip() for p in token.split("+")]
+        if len(parts) != 2:
+            print(f"error: pair {token!r} is not of the form A+B",
+                  file=sys.stderr)
+            return 2
+        unknown = [p for p in parts if p not in BENCHMARKS]
+        if unknown:
+            print(f"error: unknown benchmarks {unknown}", file=sys.stderr)
+            return 2
+        pairs.append((parts[0], parts[1]))
+    policy_b = (_scaled_policy(args.policy_b, args.scale)
+                if args.policy_b is not None else None)
+    campaign = _campaign_from(args)
+    specs, labels = [], []
+    for a, b in pairs:
+        for policy in policies:
+            scaled = _scaled_policy(policy, args.scale)
+            specs.append(RunSpec.pair(a, b, scaled, cfg, scale=args.scale,
+                                      mode_b=policy_b))
+            labels.append((f"{a}+{b}", policy.spec(),
+                           (args.policy_b or policy).spec()))
+    results = campaign.results(specs)
+    rows = []
+    for (pair, pol_a, pol_b), res in zip(labels, results):
+        row = {
+            "pair": pair,
+            "policy_a": pol_a,
+            "policy_b": pol_b,
+            "stp_ipc": res.ipc,
+            "llc_miss": res.llc_miss_rate,
+            "transitions": res.transitions,
+        }
+        for suffix, stats in zip(("a", "b"), res.programs):
+            row[f"ipc_{suffix}"] = stats.ipc
+        rows.append(row)
     print_rows(rows)
     print(_campaign_summary(campaign, specs))
     return 0
@@ -399,8 +541,15 @@ def build_parser() -> argparse.ArgumentParser:
                     "reproduction")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_run = sub.add_parser("run", help="simulate one benchmark")
-    p_run.add_argument("benchmark", choices=ALL_ABBRS)
+    p_run = sub.add_parser("run", help="simulate one benchmark or a "
+                                       "per-program-policy mix")
+    p_run.add_argument("benchmark", nargs="?", choices=ALL_ABBRS,
+                       help="catalog benchmark (omit when using --mix)")
+    p_run.add_argument("--mix", type=_parse_mix_arg, default=None,
+                       metavar="BENCH[:POLICY]+BENCH[:POLICY]",
+                       help="two-program mix with per-program policies, "
+                            "e.g. GEMM:paper-adaptive+SN:static-private; "
+                            "an entry without a policy uses --policy")
     p_run.add_argument("--policy", type=_parse_policy_arg, default=None,
                        metavar="NAME[:k=v,...]",
                        help="any registered LLC policy with parameters "
@@ -485,6 +634,13 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="NAME[:k=v,...]",
                       help="policy column with parameters; repeatable, "
                            "overrides --modes when given")
+    p_sw.add_argument("--pairs", default=None, metavar="A+B,C+D,...",
+                      help="sweep two-program mixes instead of singles "
+                           "(program A runs the policy columns)")
+    p_sw.add_argument("--policy-b", type=_parse_policy_arg, default=None,
+                      metavar="NAME[:k=v,...]",
+                      help="program B's policy for --pairs mixes "
+                           "(default: same as program A — homogeneous)")
     p_sw.add_argument("--scale", type=parse_scale, default=1.0,
                        metavar="S",
                        help="trace scale: float or preset "

@@ -43,7 +43,10 @@ from repro.policy import canonical_policy_params
 #: that invalidates previously cached results.  v2: the policy layer — specs
 #: carry ``policy_params`` and ``mode`` accepts any registered policy name,
 #: so every pre-policy cached record must be re-simulated, not reused.
-CACHE_VERSION = 2
+#: v3: the Scenario API — specs gain a canonical per-program policy
+#: serialization (``mode_b``/``policy_params_b``) and pair results carry
+#: per-program policy/transition payloads, so v2 records are stale.
+CACHE_VERSION = 3
 
 
 def _canonical_policy_params(mode: str, params) -> tuple:
@@ -71,6 +74,14 @@ class RunSpec:
     two-program mix (Figure 15); all other fields mean the same thing they
     mean on :func:`repro.experiments.runner.run_benchmark`.
 
+    The Scenario API's per-program policies serialize through
+    ``mode_b``/``policy_params_b``: when set, program B runs its own
+    policy (``mode`` stays program A's), and both join the content key.  A
+    ``mode_b`` spelled identically to ``mode`` (same parameters) is
+    canonicalized away at construction, so a homogeneous mix declared
+    per-program hashes — and executes — exactly like the legacy
+    one-policy pair it is.
+
     Attributes:
         benchmark: catalog abbreviation of the (first) program.
         mode: LLC policy — any name registered in :mod:`repro.policy`
@@ -86,6 +97,10 @@ class RunSpec:
         max_kernels: kernel-boundary cap for the generated trace.
         collect_locality: attach Figure 3's locality histogram.
         with_energy: attach the system energy report.
+        mode_b: program B's LLC policy for a heterogeneous mix
+            (requires ``pair_with``; ``None`` = both programs run
+            ``mode``).
+        policy_params_b: program B's policy parameters.
     """
 
     benchmark: str
@@ -98,11 +113,28 @@ class RunSpec:
     collect_locality: bool = False
     with_energy: bool = False
     policy_params: tuple = ()
+    mode_b: Optional[str] = None
+    policy_params_b: tuple = ()
 
     def __post_init__(self):
         object.__setattr__(self, "policy_params",
                            _canonical_policy_params(self.mode,
                                                     self.policy_params))
+        if self.mode_b is None:
+            if self.policy_params_b:
+                raise ValueError("policy_params_b requires mode_b")
+            return
+        if self.pair_with is None:
+            raise ValueError("mode_b requires pair_with (a two-program mix)")
+        object.__setattr__(self, "policy_params_b",
+                           _canonical_policy_params(self.mode_b,
+                                                    self.policy_params_b))
+        if (self.mode_b == self.mode
+                and self.policy_params_b == self.policy_params):
+            # Homogeneous mix: canonicalize to the legacy one-policy spec
+            # so it hashes (and caches) identically.
+            object.__setattr__(self, "mode_b", None)
+            object.__setattr__(self, "policy_params_b", ())
 
     # ------------------------------------------------------- constructors
     @staticmethod
@@ -127,20 +159,32 @@ class RunSpec:
     def pair(abbr_a: str, abbr_b: str, mode: str,
              cfg: Optional[GPUConfig] = None, scale: float = 1.0,
              max_kernels: int = 1,
-             policy_params: Optional[dict] = None) -> "RunSpec":
-        """A two-program mix (the :func:`run_pair` shape)."""
+             policy_params: Optional[dict] = None,
+             mode_b=None,
+             policy_params_b: Optional[dict] = None) -> "RunSpec":
+        """A two-program mix (the :func:`run_pair` shape).
+
+        ``mode_b`` gives program B its own policy (the
+        :func:`~repro.experiments.runner.run_mix` shape); omitted, both
+        programs run ``mode`` exactly as before.
+        """
         from repro.experiments.runner import experiment_config
 
         mode, policy_params = _split_policy(mode, policy_params)
+        if mode_b is not None:
+            mode_b, policy_params_b = _split_policy(mode_b, policy_params_b)
         return RunSpec(benchmark=abbr_a, mode=mode,
                        cfg=cfg if cfg is not None else experiment_config(),
                        scale=scale, pair_with=abbr_b,
                        max_kernels=max_kernels,
-                       policy_params=tuple((policy_params or {}).items()))
+                       policy_params=tuple((policy_params or {}).items()),
+                       mode_b=mode_b,
+                       policy_params_b=tuple(
+                           (policy_params_b or {}).items()))
 
     # ------------------------------------------------------ serialization
     def to_dict(self) -> dict:
-        return {
+        out = {
             "benchmark": self.benchmark,
             "mode": self.mode,
             "policy_params": {k: v for k, v in self.policy_params},
@@ -152,6 +196,14 @@ class RunSpec:
             "collect_locality": self.collect_locality,
             "with_energy": self.with_energy,
         }
+        if self.mode_b is not None:
+            # Per-program policies join the serialization (and therefore
+            # the content key) only when heterogeneous, so every
+            # homogeneous spec keeps its historical key and cached
+            # results keep deduplicating across figures.
+            out["mode_b"] = self.mode_b
+            out["policy_params_b"] = {k: v for k, v in self.policy_params_b}
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunSpec":
@@ -159,14 +211,30 @@ class RunSpec:
         kwargs["cfg"] = GPUConfig.from_dict(kwargs["cfg"])
         params = kwargs.pop("policy_params", None) or {}
         kwargs["policy_params"] = tuple(params.items())
+        params_b = kwargs.pop("policy_params_b", None) or {}
+        kwargs["policy_params_b"] = tuple(params_b.items())
         return cls(**kwargs)
 
     def cache_key(self) -> str:
         """Stable content hash: identical simulations hash identically."""
         return canonical_key(self.to_dict())
 
+    def program_entries(self) -> list[tuple[str, str]]:
+        """Canonical per-program view: ``(benchmark, policy_spec)`` per
+        co-running program (one entry for single-benchmark specs)."""
+        spec_a = PolicyConfig(self.mode, self.policy_params).spec()
+        if self.pair_with is None:
+            return [(self.benchmark, spec_a)]
+        spec_b = spec_a if self.mode_b is None else \
+            PolicyConfig(self.mode_b, self.policy_params_b).spec()
+        return [(self.benchmark, spec_a), (self.pair_with, spec_b)]
+
     def label(self) -> str:
         """Short human-readable tag for progress output."""
+        if self.mode_b is not None:
+            mix = "+".join(f"{bench}:{policy}"
+                           for bench, policy in self.program_entries())
+            return f"{mix}@{self.scale:g}"
         name = self.benchmark
         if self.pair_with:
             name = f"{name}+{self.pair_with}"
@@ -189,18 +257,40 @@ def _split_policy(mode, policy_params: Optional[dict]
     return cfg.name, merged
 
 
-def execute_spec(spec: RunSpec) -> RunResult:
-    """Run one spec to completion (no caching — the campaign's worker)."""
-    from repro.experiments.runner import run_benchmark, run_pair
+def execute_spec(spec: RunSpec,
+                 probes: Optional[dict] = None) -> RunResult:
+    """Run one spec to completion (no caching — the campaign's worker).
+
+    ``probes`` optionally carries pre-computed static probe measurements
+    for an ``oracle-static`` spec (see :meth:`Campaign.prefetch`); the
+    simulator is deterministic, so injecting them changes nothing but the
+    wall time.
+    """
+    from repro.experiments.runner import run_benchmark, run_mix, run_pair
 
     params = {k: v for k, v in spec.policy_params} or None
+    mode = spec.mode
+    if probes is not None:
+        from repro.policy import create_policy
+
+        policy = create_policy(spec.mode, params)
+        policy.inject_probes(probes)
+        mode, params = policy, None
+    if spec.mode_b is not None:
+        params_b = {k: v for k, v in spec.policy_params_b} or None
+        return run_mix(spec.benchmark, spec.pair_with, mode, spec.mode_b,
+                       spec.cfg, scale=spec.scale,
+                       max_kernels=spec.max_kernels, num_ctas=spec.num_ctas,
+                       collect_locality=spec.collect_locality,
+                       with_energy=spec.with_energy,
+                       policy_params_a=params, policy_params_b=params_b)
     if spec.pair_with is not None:
-        return run_pair(spec.benchmark, spec.pair_with, spec.mode, spec.cfg,
+        return run_pair(spec.benchmark, spec.pair_with, mode, spec.cfg,
                         scale=spec.scale, max_kernels=spec.max_kernels,
                         num_ctas=spec.num_ctas,
                         collect_locality=spec.collect_locality,
                         with_energy=spec.with_energy, policy_params=params)
-    return run_benchmark(spec.benchmark, spec.mode, spec.cfg,
+    return run_benchmark(spec.benchmark, mode, spec.cfg,
                          scale=spec.scale, num_ctas=spec.num_ctas,
                          max_kernels=spec.max_kernels,
                          collect_locality=spec.collect_locality,
@@ -222,10 +312,11 @@ class SpecExecutionError(RuntimeError):
         self.label = label
 
 
-def _execute_spec_labeled(spec: RunSpec) -> dict:
+def _execute_spec_labeled(spec: RunSpec,
+                          probes: Optional[dict] = None) -> dict:
     """Run a spec, attaching its label to any failure."""
     try:
-        return execute_spec(spec).to_dict()
+        return execute_spec(spec, probes=probes).to_dict()
     except SpecExecutionError:
         raise
     except Exception as exc:
@@ -237,8 +328,46 @@ def _execute_spec_labeled(spec: RunSpec) -> dict:
 
 def _pool_worker(payload: dict) -> tuple[str, dict]:
     """Module-level so it pickles under every multiprocessing start method."""
-    spec = RunSpec.from_dict(payload)
-    return spec.cache_key(), _execute_spec_labeled(spec)
+    spec = RunSpec.from_dict(payload["spec"])
+    return spec.cache_key(), _execute_spec_labeled(spec,
+                                                   payload.get("probes"))
+
+
+def probe_specs_for(spec: RunSpec) -> Optional[list[RunSpec]]:
+    """The two static probe specs behind an ``oracle-static`` spec.
+
+    Returns ``None`` when the spec needs no probes: non-oracle policies,
+    heterogeneous mixes (their oracle is scoped and probes a lone
+    program), and atomics workloads (pinned shared without probing,
+    Section 4.1).  The derived specs use the legacy ``shared``/``private``
+    spellings the paper figures declare, so a shootout's oracle column
+    dedupes against its own static columns in the campaign cache.
+    """
+    import dataclasses
+
+    from repro.policy import canonical_policy_name
+    from repro.workloads.catalog import benchmark
+
+    if spec.mode_b is not None:
+        return None
+    try:
+        if canonical_policy_name(spec.mode) != "oracle-static":
+            return None
+    except ValueError:
+        return None  # unknown name: let execution raise the real error
+    abbrs = [spec.benchmark] + ([spec.pair_with] if spec.pair_with else [])
+    if any(benchmark(abbr).uses_atomics for abbr in abbrs):
+        return None
+    return [dataclasses.replace(spec, mode=m, policy_params=(),
+                                collect_locality=False, with_energy=False)
+            for m in ("shared", "private")]
+
+
+def _probe_payload(result: RunResult) -> dict:
+    """The measurement triple :meth:`OracleStaticPolicy.inject_probes`
+    needs, extracted from a full probe result."""
+    return {"ipc": result.ipc, "cycles": result.cycles,
+            "llc_miss_rate": result.llc_miss_rate}
 
 
 class Campaign:
@@ -300,18 +429,44 @@ class Campaign:
             todo[key] = spec
         if not todo:
             return
+        # Oracle probe reuse: an oracle-static spec's two auxiliary static
+        # runs are ordinary specs (often the very static columns the same
+        # campaign already declares), so compute them through this cache
+        # first and inject the measurements instead of re-simulating them
+        # inside the oracle's setup().
+        probes: dict[str, dict] = {}
+        expansions = {key: probe_list for key, spec in todo.items()
+                      if (probe_list := probe_specs_for(spec)) is not None}
+        if expansions:
+            self.prefetch([p for plist in expansions.values() for p in plist])
+            for key, (shared_spec, private_spec) in expansions.items():
+                probes[key] = {
+                    "shared": _probe_payload(
+                        self._memo[shared_spec.cache_key()]),
+                    "private": _probe_payload(
+                        self._memo[private_spec.cache_key()]),
+                }
+            # The recursion may have executed specs this batch also
+            # declared directly (a shootout's static columns *are* the
+            # oracle's probes) — they are memoized now, not todo.
+            todo = {key: spec for key, spec in todo.items()
+                    if key not in self._memo}
+            if not todo:
+                return
         # A failing spec raises SpecExecutionError naming its label; specs
         # finished before the failure stay memoized (and cached on disk), so
         # a retried campaign resumes instead of starting over.
         if self.jobs == 1 or len(todo) == 1:
             for key, spec in todo.items():
-                self._finish(key, spec, _execute_spec_labeled(spec))
+                self._finish(key, spec,
+                             _execute_spec_labeled(spec, probes.get(key)))
             return
         # Fork-based workers inherit the imported simulator for free on
         # POSIX; spawn re-imports it, which is still correct, just slower.
         ctx = get_context()
         with ctx.Pool(processes=min(self.jobs, len(todo))) as pool:
-            payloads = [spec.to_dict() for spec in todo.values()]
+            payloads = [{"spec": spec.to_dict(), "probes": probes.get(key)}
+                        for key, spec in todo.items()]
             for key, result_dict in pool.imap_unordered(_pool_worker,
                                                         payloads):
                 self._finish(key, todo[key], result_dict)

@@ -44,7 +44,10 @@ def specs(scale: float = 1.0,
     pairs = pairs or all_shared_private_pairs()
     out = [RunSpec.single(abbr, "shared", cfg, scale=scale, max_kernels=1)
            for abbr in sorted({a for p in pairs for a in p})]
-    out += [RunSpec.pair(a, b, mode, cfg, scale=scale)
+    # Declared per-program through the Scenario API: both programs run the
+    # same policy, which canonicalizes to the historical one-policy spec —
+    # same cache keys, so pre-Scenario figure campaigns still dedupe.
+    out += [RunSpec.pair(a, b, mode, cfg, scale=scale, mode_b=mode)
             for a, b in pairs for mode in ("shared", "adaptive")]
     return out
 

@@ -17,7 +17,8 @@ column; a ``GM`` summary row carries geomean normalized IPC.
 from __future__ import annotations
 
 from repro.experiments.campaign import Campaign, RunSpec
-from repro.experiments.runner import experiment_config, print_rows
+from repro.experiments.runner import experiment_config, print_rows, \
+    scaled_policy_params
 from repro.metrics.perf import geomean_speedup
 from repro.report.trends import Trend
 
@@ -29,6 +30,7 @@ POLICIES = [
     "paper-adaptive",
     "miss-rate-threshold",
     "hysteresis",
+    "bandit",
     "oracle-static",
 ]
 
@@ -45,7 +47,8 @@ SPEC_NAMES = {
 }
 
 #: Policies whose transition counts are worth a column.
-DYNAMIC_POLICIES = ["paper-adaptive", "miss-rate-threshold", "hysteresis"]
+DYNAMIC_POLICIES = ["paper-adaptive", "miss-rate-threshold", "hysteresis",
+                    "bandit"]
 
 #: Two benchmarks per Table 2 category: enough spread to rank policies,
 #: small enough that the 3x-cost oracle probes stay cheap.
@@ -130,11 +133,20 @@ def _benchmarks(categories: dict | None) -> list[tuple[str, str]]:
     return [(abbr, cat) for cat, abbrs in table.items() for abbr in abbrs]
 
 
+def _column_spec(abbr: str, policy: str, cfg, scale: float) -> RunSpec:
+    """One shootout cell: legacy spelling for the triad (cross-figure
+    dedup) and scale-derived window parameters for the interval policies
+    (so smoke/small columns actually transition)."""
+    return RunSpec.single(abbr, SPEC_NAMES.get(policy, policy), cfg,
+                          scale=scale,
+                          policy_params=scaled_policy_params(policy, scale)
+                          or None)
+
+
 def specs(scale: float = 1.0,
           categories: dict | None = None) -> list[RunSpec]:
     cfg = experiment_config()
-    return [RunSpec.single(abbr, SPEC_NAMES.get(policy, policy), cfg,
-                           scale=scale)
+    return [_column_spec(abbr, policy, cfg, scale)
             for abbr, _cat in _benchmarks(categories)
             for policy in POLICIES]
 
@@ -147,9 +159,7 @@ def run(scale: float = 1.0, categories: dict | None = None,
     rows = []
     norms: dict[str, list[float]] = {p: [] for p in POLICIES}
     for abbr, category in _benchmarks(categories):
-        results = {p: campaign.result(
-                       RunSpec.single(abbr, SPEC_NAMES.get(p, p), cfg,
-                                      scale=scale))
+        results = {p: campaign.result(_column_spec(abbr, p, cfg, scale))
                    for p in POLICIES}
         base = results["static-shared"].ipc
         row = {"benchmark": abbr, "category": category}

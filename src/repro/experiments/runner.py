@@ -57,6 +57,43 @@ def experiment_config(**overrides) -> GPUConfig:
     return cfg
 
 
+#: Scale at which the interval policies' default windows are calibrated
+#: (``medium``); below it, windows must shrink with the trace or the
+#: policies never see enough full windows to act.
+INTERVAL_REFERENCE_SCALE = 0.25
+
+#: Registered policies whose window parameters scale with the trace.
+_INTERVAL_POLICIES = ("miss-rate-threshold", "hysteresis", "bandit")
+
+
+def scaled_policy_params(policy: str, scale: float,
+                         params: Optional[dict] = None) -> dict:
+    """Derive interval-policy window parameters from the trace scale.
+
+    The dynamic heuristics' defaults (``interval=1500``,
+    ``min_samples=128``) are tuned for scales >= 0.25; a ``smoke`` run is
+    a few thousand cycles long, so at default settings the controllers
+    silently stay static — the same problem
+    :func:`scaled_adaptive_config` solves for the paper controller.  This
+    shrinks ``interval`` and ``min_samples`` proportionally (with floors)
+    for the interval-window policies; explicitly supplied parameters
+    always win, and non-interval policies pass through untouched.
+    """
+    from repro.policy import canonical_policy_name, policy_class
+
+    out = dict(params or {})
+    name = canonical_policy_name(policy)
+    if name not in _INTERVAL_POLICIES or scale >= INTERVAL_REFERENCE_SCALE:
+        return out
+    factor = scale / INTERVAL_REFERENCE_SCALE
+    schema = policy_class(name).param_schema()
+    out.setdefault("interval",
+                   max(200, round(schema["interval"].default * factor)))
+    out.setdefault("min_samples",
+                   max(16, round(schema["min_samples"].default * factor)))
+    return out
+
+
 def _accesses_for(abbr: str, scale: float) -> int:
     spec = benchmark(abbr)
     return max(2_000, int(DEFAULT_ACCESSES[spec.category] * scale))
@@ -118,6 +155,38 @@ def run_pair(abbr_a: str, abbr_b: str, mode: str,
                    num_ctas=num_ctas, max_kernels=max_kernels)
     system = GPUSystem(cfg, mp, policy=mode, policy_params=policy_params,
                        collect_locality=collect_locality)
+    result = system.run()
+    if with_energy:
+        result.energy = GPUPowerModel().report(system, result)
+    return result
+
+
+def run_mix(abbr_a: str, abbr_b: str, mode_a: str, mode_b: str,
+            cfg: Optional[GPUConfig] = None, scale: float = 1.0,
+            max_kernels: int = 1, num_ctas: Optional[int] = None,
+            collect_locality: bool = False,
+            with_energy: bool = False,
+            policy_params_a: Optional[dict] = None,
+            policy_params_b: Optional[dict] = None) -> RunResult:
+    """Run a two-program mix with *per-program* LLC policies.
+
+    The Scenario-API sibling of :func:`run_pair`: the same workload pair
+    (identical traces, placement, address offsets) but program A runs
+    ``mode_a`` while program B runs ``mode_b`` — the heterogeneous
+    co-execution the one-policy surface could not express.
+    """
+    from repro.scenario import ProgramSpec, Scenario
+
+    cfg = cfg or experiment_config()
+    total = max(4_000, int(60_000 * scale))
+    if num_ctas is None:
+        num_ctas = 2 * cfg.num_sms
+    mp = make_pair(abbr_a, abbr_b, total_accesses=total,
+                   num_ctas=num_ctas, max_kernels=max_kernels)
+    scenario = Scenario.mix(
+        ProgramSpec(mp.programs[0], mode_a, policy_params_a),
+        ProgramSpec(mp.programs[1], mode_b, policy_params_b))
+    system = GPUSystem(cfg, scenario, collect_locality=collect_locality)
     result = system.run()
     if with_energy:
         result.energy = GPUPowerModel().report(system, result)

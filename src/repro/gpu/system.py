@@ -1,14 +1,16 @@
-"""The assembled GPU system: SMs + L1s + NoC + LLC slices + DRAM + a
-pluggable LLC policy, driven by the discrete-event engine.
+"""The assembled GPU system: SMs + L1s + NoC + LLC slices + DRAM +
+pluggable LLC policies, driven by the discrete-event engine.
 
-One :class:`GPUSystem` runs one workload (or a two-program mix) under one
-LLC policy resolved through the :mod:`repro.policy` registry — a
-registered name (``"static-shared"``, ``"static-private"``,
-``"paper-adaptive"``, ``"miss-rate-threshold"``, ``"hysteresis"``,
-``"oracle-static"``, …), a :class:`~repro.config.PolicyConfig`, or an
-:class:`~repro.policy.LLCPolicy` instance.  The historical string triad
-``"shared"``/``"private"``/``"adaptive"`` keeps working as aliases for the
-first three.
+One :class:`GPUSystem` runs one :class:`~repro.scenario.Scenario` — an
+ordered set of programs, each governed by its *own* LLC policy resolved
+through the :mod:`repro.policy` registry (a registered name such as
+``"static-shared"``/``"paper-adaptive"``/``"hysteresis"``, a
+:class:`~repro.config.PolicyConfig`, or an
+:class:`~repro.policy.LLCPolicy` instance).  The historical surface —
+``GPUSystem(cfg, workload, policy=...)`` with one global policy — remains
+as a thin adapter that builds a one-policy scenario internally, so legacy
+runs stay byte-identical; the string triad
+``"shared"``/``"private"``/``"adaptive"`` keeps working as aliases.
 
 Request life cycle (all times computed by threading through bandwidth
 servers, one engine event per L1 miss):
@@ -26,7 +28,8 @@ from typing import Optional, Union
 from repro.config import GPUConfig, PolicyConfig
 from repro.core.modes import LLCMode
 from repro.core.reconfig import ReconfigCost
-from repro.policy import LLCPolicy, create_policy
+from repro.policy import LLCPolicy, PolicyStats, create_policy
+from repro.scenario import Scenario
 from repro.gpu.cta import assign_ctas
 from repro.gpu.sm import StreamingMultiprocessor
 from repro.mem.address_map import make_mapping
@@ -41,20 +44,38 @@ from repro.workloads.trace import Workload
 
 @dataclass
 class ProgramStats:
-    """Per-program results for multi-program runs."""
+    """Per-program results for multi-program runs.
+
+    Scenario runs additionally report which policy governed the program
+    and its mode-transition timeline (``[when, mode, reason]`` entries —
+    a static program carries one synthetic ``"static"`` entry).  Legacy
+    one-policy runs leave ``policy`` empty and serialize exactly as they
+    always did, keeping pre-Scenario captures byte-identical.
+    """
 
     name: str
     instructions: float
     ipc: float
+    policy: str = ""
+    transitions: int = 0
+    mode_timeline: list = field(default_factory=list)
 
     def to_dict(self) -> dict:
-        return {"name": self.name, "instructions": self.instructions,
-                "ipc": self.ipc}
+        out = {"name": self.name, "instructions": self.instructions,
+               "ipc": self.ipc}
+        if self.policy:
+            out["policy"] = self.policy
+            out["transitions"] = self.transitions
+            out["mode_timeline"] = [list(e) for e in self.mode_timeline]
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "ProgramStats":
         return cls(name=data["name"], instructions=data["instructions"],
-                   ipc=data["ipc"])
+                   ipc=data["ipc"], policy=data.get("policy", ""),
+                   transitions=data.get("transitions", 0),
+                   mode_timeline=[list(e) for e in
+                                  data.get("mode_timeline", [])])
 
 
 @dataclass
@@ -175,11 +196,17 @@ class Request:
 
 
 class _ProgramContext:
-    """One co-running application: its workload, SMs, and controller.
+    """One co-running application: its workload, SMs, controller, and its
+    own slice of the LLC counters.
 
-    ``controller`` is whatever mode-driving object the active LLC policy
-    installed (``None`` for static policies); see the duck-typed surface
-    documented in :mod:`repro.policy.base`.
+    ``controller`` is whatever mode-driving object the program's LLC
+    policy installed (``None`` for static policies); see the duck-typed
+    surface documented in :mod:`repro.policy.base`.  ``llc_accesses`` /
+    ``llc_hits`` accumulate this program's LLC traffic when a policy
+    enabled per-program counting
+    (:meth:`GPUSystem.enable_program_counters`) — the observation window
+    the interval policies read, so a co-runner's misses never move this
+    program's controller.
     """
 
     def __init__(self, program_id: int, workload: Workload, sm_ids: list[int]):
@@ -191,12 +218,31 @@ class _ProgramContext:
         self.done = False
         self.controller = None
         self.static_mode = LLCMode.SHARED
+        self.policy_name = ""
+        self.llc_accesses = 0
+        self.llc_hits = 0
 
     @property
     def mode(self) -> LLCMode:
         if self.controller is not None:
             return self.controller.mode
         return self.static_mode
+
+
+def _scenario_workload(scenario: Scenario):
+    """The simulated workload behind a scenario: the lone program's
+    workload, or a :class:`MultiProgramWorkload` wrapping a two-program
+    mix with the Figure 9 placement."""
+    programs = scenario.programs
+    if len(programs) == 1:
+        return programs[0].workload
+    if len(programs) == 2:
+        a, b = programs[0].workload, programs[1].workload
+        return MultiProgramWorkload(name=f"{a.name}+{b.name}",
+                                    programs=(a, b))
+    raise ValueError(
+        f"the Figure 9 placement supports at most two co-running "
+        f"programs, got {len(programs)}")
 
 
 def _resolve_policy(policy, policy_params) -> tuple[LLCPolicy, str]:
@@ -226,16 +272,19 @@ def _resolve_policy(policy, policy_params) -> tuple[LLCPolicy, str]:
 
 
 class GPUSystem:
-    """A complete simulated GPU bound to one workload and LLC policy.
+    """A complete simulated GPU bound to one scenario of programs.
 
     Args:
         cfg: the architecture configuration (Table 1 baseline + overrides).
-        workload: a :class:`~repro.workloads.trace.Workload` or
+        workload: a :class:`~repro.scenario.Scenario` (programs with their
+            own policies), a :class:`~repro.workloads.trace.Workload`, or a
             :class:`~repro.workloads.multiprogram.MultiProgramWorkload`.
-        policy: the LLC policy — a registered name or alias (``"shared"``,
-            ``"static-private"``, ``"hysteresis"``, …), a
-            :class:`~repro.config.PolicyConfig`, or a ready
-            :class:`~repro.policy.LLCPolicy` instance.
+        policy: legacy one-policy-for-everything kwarg — a registered name
+            or alias (``"shared"``, ``"static-private"``, ``"hysteresis"``,
+            …), a :class:`~repro.config.PolicyConfig`, or a ready
+            :class:`~repro.policy.LLCPolicy` instance.  Rejected alongside
+            a :class:`~repro.scenario.Scenario`, which carries per-program
+            policies itself.
         policy_params: parameter overrides for a name/config ``policy``
             (rejected alongside an instance, which carries its own).
         mode: deprecated alias for ``policy`` (the historical kwarg name);
@@ -258,7 +307,37 @@ class GPUSystem:
                 "GPUSystem(mode=...) is deprecated; use policy=",
                 DeprecationWarning, stacklevel=2)
             policy = mode
-        self.policy, self.mode_name = _resolve_policy(policy, policy_params)
+        if isinstance(workload, Scenario):
+            if policy is not None or policy_params:
+                raise ValueError(
+                    "a Scenario carries per-program policies; the global "
+                    "policy=/policy_params=/mode= kwargs must be omitted")
+            self.scenario = workload
+            self._explicit_scenario = True
+            # One policy instance per program, scoped to it at bind time.
+            # The reported per-program name is the full canonical spec
+            # (parameters included), so heterogeneous results stay legible.
+            resolved = [
+                (_resolve_policy(p.policy, p.policy_params)[0],
+                 p.policy_spec())
+                for p in workload.programs]
+            if len({id(inst) for inst, _ in resolved}) != len(resolved):
+                # A shared instance would have its per-program scope
+                # clobbered by the second bind() and its stats harvested
+                # twice — refuse instead of silently mis-governing.
+                raise ValueError(
+                    "each program needs its own LLCPolicy instance; the "
+                    "same instance cannot govern two programs")
+            self._program_policies = resolved
+            self.policy = resolved[0][0] if len(resolved) == 1 else None
+            self.mode_name = "+".join(name for _, name in resolved)
+            workload = _scenario_workload(workload)
+        else:
+            self.scenario = None
+            self._explicit_scenario = False
+            self.policy, self.mode_name = _resolve_policy(policy,
+                                                          policy_params)
+            self._program_policies = None
         cfg.validate()
         self.cfg = cfg
         self.workload = workload
@@ -300,9 +379,30 @@ class GPUSystem:
         # shared routing and mc per key for private routing.
         self._shared_route: dict[int, tuple[int, int]] = {}
         self._mc_of: dict[int, int] = {}
+        # Per-program LLC counter maintenance is opt-in: policies with
+        # per-program observation windows enable it from setup(), so runs
+        # under purely static/profiled policies pay one bool check per
+        # access and nothing more.
+        self.count_program_llc = False
         self.programs = self._build_programs(workload)
-        self.policy.bind(self)
-        self.policy.setup()
+        if self._explicit_scenario:
+            if len(self._program_policies) != len(self.programs):
+                raise ValueError(
+                    f"{len(self._program_policies)} program policies for "
+                    f"{len(self.programs)} programs")
+            self._policy_bindings = []
+            for (pol, name), prog in zip(self._program_policies,
+                                         self.programs):
+                prog.policy_name = name
+                self._policy_bindings.append((pol, [prog]))
+        else:
+            for prog in self.programs:
+                prog.policy_name = self.mode_name
+            self._policy_bindings = [(self.policy, None)]
+        for pol, scope in self._policy_bindings:
+            pol.bind(self, scope)
+        for pol, _scope in self._policy_bindings:
+            pol.setup()
 
     # ------------------------------------------------------------ assembly
     def _build_programs(self, workload) -> list[_ProgramContext]:
@@ -551,14 +651,30 @@ class GPUSystem:
         if sm.drained:
             self._maybe_finish_sm(sm)
 
+    def enable_program_counters(self) -> None:
+        """Maintain per-program LLC access/hit counters.
+
+        Policies whose controllers observe a per-program window
+        (``miss-rate-threshold``, ``hysteresis``, ``bandit``) call this
+        from ``setup()``.  Cost: two integer increments per LLC access,
+        paid only when some policy asked for them — static and
+        ATD-profiled runs keep the pre-Scenario hot path."""
+        self.count_program_llc = True
+
     # ------------------------------------------------------- request paths
     def _profile(self, sm: StreamingMultiprocessor, key: int, mc: int,
                  slice_global: int, hit: bool) -> None:
-        """Feed the policy's profiler, if it installed one (only meaningful
-        under shared mode, where the outcome of the *shared* organization
-        is being measured).  Controllers without per-access observation
-        declare ``profiler = None`` and cost one attribute check here."""
+        """Feed the program's counter slice and its policy's profiler.
+
+        The profiler branch only observes under shared mode, where the
+        outcome of the *shared* organization is being measured.
+        Controllers without per-access observation declare
+        ``profiler = None`` and cost one attribute check here."""
         prog = self.programs[sm.program_id]
+        if self.count_program_llc:
+            prog.llc_accesses += 1
+            if hit:
+                prog.llc_hits += 1
         ctrl = prog.controller
         if ctrl is not None and prog.mode is LLCMode.SHARED:
             profiler = ctrl.profiler
@@ -714,7 +830,19 @@ class GPUSystem:
         dram_reads = sum(mc.read_requests for mc in self.mcs)
         dram_writes = sum(mc.write_requests for mc in self.mcs)
 
-        policy_stats = self.policy.collect_stats(cycles)
+        if len(self._policy_bindings) == 1:
+            policy_stats = self._policy_bindings[0][0].collect_stats(cycles)
+        else:
+            # Per-program policies: aggregate in program order, mirroring
+            # the one-policy fold exactly (same float accumulation order).
+            policy_stats = PolicyStats()
+            for pol, _scope in self._policy_bindings:
+                part = pol.collect_stats(cycles)
+                policy_stats.transitions += part.transitions
+                policy_stats.stall_cycles += part.stall_cycles
+                policy_stats.time_in_private += part.time_in_private
+                policy_stats.mode_history.extend(part.mode_history)
+                policy_stats.decisions.extend(part.decisions)
 
         gated = 0.0
         if hasattr(self.topology, "gated_time"):
@@ -725,9 +853,20 @@ class GPUSystem:
             for prog in self.programs:
                 instrs = sum(self.sms[s].retired_instructions
                              for s in prog.sm_ids)
-                program_stats.append(ProgramStats(
+                stats = ProgramStats(
                     name=prog.workload.name, instructions=instrs,
-                    ipc=instrs / cycles))
+                    ipc=instrs / cycles)
+                if self._explicit_scenario:
+                    stats.policy = prog.policy_name
+                    ctrl = prog.controller
+                    if ctrl is not None:
+                        stats.transitions = int(ctrl.transitions)
+                        stats.mode_timeline = [
+                            [t, m.value, r] for t, m, r in ctrl.mode_history]
+                    else:
+                        stats.mode_timeline = [
+                            [0.0, prog.static_mode.value, "static"]]
+                program_stats.append(stats)
 
         fractions = None
         if self.locality is not None:

@@ -9,6 +9,8 @@ Importing this package registers the built-in policies:
                           (alias: ``adaptive``)
 ``miss-rate-threshold``   windowed miss rate vs two thresholds
 ``hysteresis``            thresholds + consecutive-window dwell
+``bandit``                epsilon-greedy over the two statics, rewarded by
+                          per-program windowed IPC
 ``oracle-static``         best-of-both-statics via auxiliary probe runs
 ========================  ====================================================
 
@@ -42,6 +44,7 @@ from repro.policy import static as _static  # noqa: F401  (registration)
 from repro.policy import adaptive as _adaptive  # noqa: F401
 from repro.policy import threshold as _threshold  # noqa: F401
 from repro.policy import hysteresis as _hysteresis  # noqa: F401
+from repro.policy import bandit as _bandit  # noqa: F401
 from repro.policy import oracle as _oracle  # noqa: F401
 
 __all__ = [

@@ -33,7 +33,7 @@ class PaperAdaptivePolicy(LLCPolicy):
 
     def setup(self) -> None:
         system = self.system
-        for prog in system.programs:
+        for prog in self.programs:
             prog.controller = AdaptiveController(
                 system.cfg, system.engine, system,
                 on_transition=system.transition_hook(prog),

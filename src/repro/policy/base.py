@@ -131,6 +131,7 @@ class LLCPolicy:
     def __init__(self, **params):
         self.params = self.canonical_params(params, fill_defaults=True)
         self.system = None
+        self._scope = None
 
     # ---------------------------------------------------------- parameters
     @classmethod
@@ -162,9 +163,22 @@ class LLCPolicy:
         return out
 
     # ----------------------------------------------------------- lifecycle
-    def bind(self, system) -> None:
-        """Attach the policy to its :class:`~repro.gpu.system.GPUSystem`."""
+    def bind(self, system, programs=None) -> None:
+        """Attach the policy to its :class:`~repro.gpu.system.GPUSystem`.
+
+        ``programs`` scopes the policy to a subset of the system's
+        programs (the Scenario API's per-program policies); ``None`` — the
+        legacy shape — means the policy governs every program.
+        """
         self.system = system
+        self._scope = list(programs) if programs is not None else None
+
+    @property
+    def programs(self) -> list:
+        """The program contexts this policy governs (scope or all)."""
+        if self._scope is not None:
+            return self._scope
+        return self.system.programs
 
     def setup(self) -> None:
         """Configure the bound system (programs exist; the run has not
@@ -180,7 +194,7 @@ class LLCPolicy:
         stays byte-identical.
         """
         stats = PolicyStats()
-        for prog in self.system.programs:
+        for prog in self.programs:
             ctrl = prog.controller
             if ctrl is None:
                 continue

@@ -72,10 +72,11 @@ class HysteresisPolicy(LLCPolicy):
 
     def setup(self) -> None:
         system = self.system
+        system.enable_program_counters()
         p = self.params
-        for prog in system.programs:
+        for prog in self.programs:
             prog.controller = _HysteresisController(
-                system.cfg, system.engine, system,
+                system.cfg, system.engine, system, prog,
                 interval_cycles=p["interval"],
                 min_samples=p["min_samples"],
                 on_transition=system.transition_hook(prog),

@@ -1,20 +1,22 @@
 """Interval-tick controller machinery for lightweight heuristic policies.
 
 :class:`IntervalModeController` is the reusable per-program driver behind
-``miss-rate-threshold`` and ``hysteresis``: an engine event fires every
-``interval`` cycles, the controller reads the *global* LLC hit/miss
-counters accumulated since the previous tick (no per-access hooks — the
-request hot path stays untouched), and a subclass decides whether to flip
-the program's mode.  Transitions pay the full
+``miss-rate-threshold``, ``hysteresis`` and ``bandit``: an engine event
+fires every ``interval`` cycles, the controller reads *its own program's*
+LLC hit/miss counters accumulated since the previous tick (the system
+slices the counters by program when a policy enables them — no per-access
+hooks beyond two integer increments), and a subclass decides whether to
+flip the program's mode.  Transitions pay the full
 :class:`~repro.core.reconfig.Reconfigurator` cost and stall the SMs
 through the system's transition hook, exactly like the paper's controller.
 
 Because the observation window is the live organization's own miss rate,
 these policies are deliberately *cheaper and dumber* than paper-adaptive
 (no ATD, no bandwidth model) — that contrast is what the policy-shootout
-experiment measures.  Multi-program mixes share the global counters; the
-profiler-based paper policy is the right tool when per-program attribution
-matters.
+experiment measures.  In multi-program mixes every controller sees an
+honest per-program window: co-runner traffic never moves it (the
+pre-Scenario layer read the global slice counters instead, so a mix's
+controllers chased each other's miss rates).
 """
 
 from __future__ import annotations
@@ -30,23 +32,30 @@ from repro.sim.engine import Engine, Event
 
 
 class IntervalModeController:
-    """Drives one program's LLC mode from windowed global miss rates.
+    """Drives one program's LLC mode from its windowed miss rates.
 
     Exposes the controller surface
     :class:`~repro.gpu.system.GPUSystem` expects (``mode``,
     ``on_kernel_launch``, ``shutdown``, the bookkeeping properties, and
     ``profiler = None`` so the per-access profiling hook stays idle).
+
+    ``prog`` is the :class:`~repro.gpu.system._ProgramContext` whose
+    ``llc_accesses``/``llc_hits`` counters the controller observes; the
+    installing policy must call
+    :meth:`~repro.gpu.system.GPUSystem.enable_program_counters` so the
+    system maintains them.
     """
 
     profiler = None  # no per-access observation: hot path stays untouched
 
-    def __init__(self, cfg: GPUConfig, engine: Engine, system,
+    def __init__(self, cfg: GPUConfig, engine: Engine, system, prog,
                  interval_cycles: int, min_samples: int,
                  on_transition: Optional[Callable] = None,
                  force_shared: bool = False):
         self.cfg = cfg
         self.engine = engine
         self.system = system
+        self.prog = prog
         self.interval_cycles = interval_cycles
         self.min_samples = min_samples
         self.on_transition = on_transition
@@ -77,12 +86,8 @@ class IntervalModeController:
 
     # --------------------------------------------------------------- ticks
     def _baseline(self) -> None:
-        acc = hits = 0
-        for sl in self.system.llc_slices:
-            acc += sl.accesses
-            hits += sl.hits
-        self._seen_accesses = acc
-        self._seen_hits = hits
+        self._seen_accesses = self.prog.llc_accesses
+        self._seen_hits = self.prog.llc_hits
 
     def _tick(self) -> None:
         now = self.engine.now

@@ -37,15 +37,20 @@ class StaticPrivatePolicy(LLCPolicy):
 
     def setup(self) -> None:
         system = self.system
-        for prog in system.programs:
+        for prog in self.programs:
             prog.static_mode = LLCMode.PRIVATE
-        for sl in system.llc_slices:
-            sl.set_write_policy(write_through=True)
+        if len(self.programs) == len(system.programs):
+            # All programs private: the slice-level default can flip too
+            # (per-access routing passes write_through explicitly either
+            # way; a mixed scenario leaves the default write-back).
+            for sl in system.llc_slices:
+                sl.set_write_policy(write_through=True)
         system.update_bypass(0.0)
 
     def collect_stats(self, cycles: float) -> PolicyStats:
         stats = super().collect_stats(cycles)
-        # The whole run is private for every program (the system divides
-        # by the program count when it reports time_in_private).
-        stats.time_in_private = cycles * len(self.system.programs)
+        # The governed programs spend the whole run private (the system
+        # divides by the total program count when it reports
+        # time_in_private).
+        stats.time_in_private = cycles * len(self.programs)
         return stats

@@ -49,6 +49,7 @@ class FigureReport:
     trends: list[TrendResult]
     rows: list[dict]
     cache_keys: list[str]
+    spec_labels: list[str] = field(default_factory=list)
     chart_file: Optional[str] = None  # out-dir-relative
     pages: dict = field(default_factory=dict)  # format -> relative path
 
@@ -60,6 +61,9 @@ class FigureReport:
             "status": self.status,
             "trends": [t.to_dict() for t in self.trends],
             "cache_keys": self.cache_keys,
+            # Human-readable spec provenance: benchmark/policy@scale, with
+            # per-program policies spelled out for Scenario-API mixes.
+            "specs": self.spec_labels,
             "chart": self.chart_file,
             "pages": dict(self.pages),
         }
@@ -180,6 +184,7 @@ class ReportBuilder:
             number=number, slug=module.SLUG, title=module.TITLE,
             paper_claim=module.PAPER_CLAIM, status=status, trends=trends,
             rows=rows, cache_keys=cache_keys,
+            spec_labels=sorted({spec.label() for spec in specs}),
             chart_file=f"{module.SLUG}/{chart_name}")
         renderers = {"html": templates.figure_page_html,
                      "md": templates.figure_page_md}

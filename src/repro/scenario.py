@@ -1,0 +1,139 @@
+"""First-class run scenarios: programs with their own LLC policies.
+
+The historical run surface — ``GPUSystem(cfg, workload, policy=...)`` —
+models every simulation as "one workload under one global LLC policy",
+which cannot express the paper's sharpest multiprogram case (Figure 15):
+program A running ``static-private`` while co-runner B runs
+``paper-adaptive``.  The Scenario API makes the *program* the unit of
+declaration instead:
+
+* :class:`ProgramSpec` — one co-running application: its workload plus the
+  LLC policy (and parameters) that governs *its* clusters' slices;
+* :class:`Scenario` — an ordered set of programs sharing the GPU (one or
+  two; the Figure 9 placement is binary).
+
+``GPUSystem`` accepts a :class:`Scenario` wherever it accepted a workload;
+the old ``policy=``/``policy_params=`` kwargs remain as thin adapters that
+build a one-policy scenario internally, so legacy runs (and their golden
+captures) stay byte-identical.
+
+The CLI mix grammar lives here too::
+
+    GEMM:paper-adaptive+SN:static-private
+    GEMM:hysteresis:dwell=3,interval=800+SN
+
+Each ``+``-separated entry is ``BENCHMARK[:POLICY[:key=value,...]]``; an
+entry without a policy inherits the run's default.  :func:`parse_mix`
+returns ``(benchmark, PolicyConfig | None)`` pairs; benchmark validation is
+the caller's job (the catalog is not imported here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.config import PolicyConfig
+from repro.policy import LLCPolicy
+from repro.workloads.trace import Workload
+
+
+@dataclass
+class ProgramSpec:
+    """One co-running application and the LLC policy that governs it.
+
+    Attributes:
+        workload: the program's :class:`~repro.workloads.trace.Workload`.
+            Co-running programs must occupy disjoint address spaces (the
+            generator's ``address_offset`` / :func:`~repro.workloads.
+            multiprogram.make_pair` handle this).
+        policy: the program's LLC policy — a registered name or alias, a
+            :class:`~repro.config.PolicyConfig`, or a ready
+            :class:`~repro.policy.LLCPolicy` instance.  ``None`` means the
+            scenario-level default (``"shared"``, the historical default).
+        policy_params: parameter overrides for a name/config ``policy``
+            (rejected alongside an instance, which carries its own).
+    """
+
+    workload: Workload
+    policy: Union[str, PolicyConfig, LLCPolicy, None] = None
+    policy_params: Optional[dict] = None
+
+    def policy_spec(self) -> str:
+        """Canonical ``NAME[:k=v,...]`` rendering of the program's policy
+        (instances render as their registered ``NAME``)."""
+        if isinstance(self.policy, LLCPolicy):
+            return type(self.policy).NAME
+        if isinstance(self.policy, PolicyConfig):
+            return self.policy.spec()
+        name = self.policy if self.policy is not None else "shared"
+        return PolicyConfig.of(name, self.policy_params).spec()
+
+
+@dataclass
+class Scenario:
+    """An ordered set of programs sharing the GPU, each with its policy.
+
+    One entry is a single-program run; two entries co-execute under the
+    Figure 9 placement (half of every cluster per program).  More than two
+    programs would need a different placement rule and are rejected by
+    :class:`~repro.gpu.system.GPUSystem`.
+    """
+
+    programs: list[ProgramSpec] = field(default_factory=list)
+    name: Optional[str] = None
+
+    def __post_init__(self):
+        if not self.programs:
+            raise ValueError("a Scenario needs at least one ProgramSpec")
+        if self.name is None:
+            self.name = "+".join(p.workload.name for p in self.programs)
+
+    # ------------------------------------------------------- constructors
+    @staticmethod
+    def single(workload: Workload, policy=None,
+               policy_params: Optional[dict] = None) -> "Scenario":
+        """A one-program scenario (the legacy run shape)."""
+        return Scenario([ProgramSpec(workload, policy, policy_params)])
+
+    @staticmethod
+    def mix(*programs: ProgramSpec, name: Optional[str] = None) -> "Scenario":
+        """A multi-program scenario from explicit :class:`ProgramSpec`\\ s."""
+        return Scenario(list(programs), name=name)
+
+    # ------------------------------------------------------------ queries
+    def __len__(self) -> int:
+        return len(self.programs)
+
+    def describe(self) -> str:
+        """Human-readable ``wl:policy+wl:policy`` tag for logs/results."""
+        return "+".join(f"{p.workload.name}:{p.policy_spec()}"
+                        for p in self.programs)
+
+
+def parse_mix_entry(text: str) -> tuple[str, Optional[PolicyConfig]]:
+    """Parse one mix entry: ``BENCHMARK[:POLICY[:key=value,...]]``.
+
+    Returns ``(benchmark, policy_config_or_None)``.  The policy spec, when
+    present, parses through :meth:`PolicyConfig.from_spec` — same grammar,
+    same errors as ``--policy``.
+    """
+    bench, sep, policy_text = text.partition(":")
+    bench = bench.strip()
+    if not bench:
+        raise ValueError(f"mix entry {text!r} has no benchmark")
+    if not sep or not policy_text.strip():
+        return bench, None
+    return bench, PolicyConfig.from_spec(policy_text.strip())
+
+
+def parse_mix(text: str) -> list[tuple[str, Optional[PolicyConfig]]]:
+    """Parse the full mix grammar: ``ENTRY+ENTRY``.
+
+    ``+`` separates programs, so policy parameter *values* inside a mix
+    must avoid it (write ``1000.0``, not ``1e+3``).
+    """
+    entries = [tok.strip() for tok in text.split("+")]
+    if any(not tok for tok in entries):
+        raise ValueError(f"mix {text!r} has an empty program entry")
+    return [parse_mix_entry(tok) for tok in entries]

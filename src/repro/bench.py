@@ -3,54 +3,84 @@
 The ROADMAP's north star is a simulator that "runs as fast as the hardware
 allows" — this module is how that is *measured* rather than assumed.  It
 times fig11-style runs (one benchmark under the shared, private, and
-adaptive LLC policies) and reports wall time, engine events, and events/sec
-per scenario, then writes the record to ``BENCH_hotpath.json`` so every PR
-has a perf trajectory to beat.
+adaptive LLC policies, plus an adaptive run with per-program LLC counters
+enabled) under **both execution tiers** and reports wall time, engine
+events, and events/sec per scenario, then writes the record to
+``BENCH_hotpath.json`` so every PR has a perf trajectory to beat.
 
 Schema of the written file::
 
     {
-      "<scenario>": {"wall_s": float, "events": int,
-                      "events_per_sec": float, "cycles": float},
+      "<scenario>": {"tier": str, "wall_s": float, "events": int,
+                      "events_per_sec": float, "cycles": float,
+                      "samples": [float, ...]},
       ...,
       "_meta": {"benchmark": str, "scale": float, "repeat": int,
                  "python": str, "platform": str}
     }
 
-Scenario keys are the LLC policy names.  ``_meta`` is advisory; comparison
-tooling (:func:`compare_bench`) looks only at the scenario entries.
+Scenario keys are the LLC policy names for the event tier (``"adaptive"``)
+with a ``[fastpath]`` suffix for the fast-path tier
+(``"adaptive[fastpath]"``); the ``adaptive+counters`` scenario times the
+adaptive policy with :meth:`GPUSystem.enable_program_counters` on, the
+instrumented path Scenario-API policies pay.  ``_meta`` is advisory;
+comparison tooling (:func:`compare_bench`) looks only at
+``events_per_sec`` in the scenario entries, so records written by older
+schema versions (no ``tier``/``samples`` fields, no fastpath scenarios)
+still load and compare.
 
 Timing methodology: each scenario builds the workload and system outside
-the timed region (trace generation is setup, not simulation), times only
-:meth:`~repro.gpu.system.GPUSystem.run`, and keeps the best of ``repeat``
-attempts (minimum wall time — the least-noise estimator for a
-deterministic computation).
+the timed region (trace generation is setup, not simulation) and times
+only :meth:`~repro.gpu.system.GPUSystem.run`.  Every repeat's events/sec
+is recorded in ``samples``; the headline ``events_per_sec`` is the
+**median** sample (robust to one noisy neighbour on shared runners, unlike
+best-of which tracks the luckiest run), while ``wall_s`` reports the best
+wall time for reference.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import platform
+import statistics
 import sys
 import time
 from typing import Optional, Sequence
 
 MODES = ("shared", "private", "adaptive")
 
+TIERS = ("event", "fastpath")
+
+#: Scenario table: (key, LLC policy, per-program counters enabled).
+SCENARIOS = (
+    ("shared", "shared", False),
+    ("private", "private", False),
+    ("adaptive", "adaptive", False),
+    ("adaptive+counters", "adaptive", True),
+)
+
 #: Default benchmark: VA is a neutral streaming workload whose adaptive run
 #: exercises profiling epochs, transitions, and both organizations.
 DEFAULT_BENCHMARK = "VA"
 
 
-def bench_scenario(abbr: str, mode: str, scale: float,
-                   repeat: int = 1) -> dict:
-    """Time one ``benchmark/mode`` simulation; returns a schema row."""
+def scenario_key(name: str, tier: str) -> str:
+    """Scenario key for a (name, tier) pair: event-tier keys stay bare so
+    pre-tier baselines keep comparing against the same keys."""
+    return name if tier == "event" else f"{name}[{tier}]"
+
+
+def bench_scenario(abbr: str, mode: str, scale: float, repeat: int = 1,
+                   tier: str = "event", counters: bool = False) -> dict:
+    """Time one ``benchmark/mode`` simulation under one execution tier;
+    returns a schema row."""
     from repro.experiments.runner import _accesses_for, experiment_config
     from repro.gpu.system import GPUSystem
     from repro.workloads.catalog import benchmark
     from repro.workloads.generator import generate_workload
 
-    cfg = experiment_config()
+    cfg = dataclasses.replace(experiment_config(), tier=tier)
     # The workload is seeded and deterministic: generate it once and rebuild
     # only the simulated system per timing attempt (kernel loading copies
     # the access streams, so runs never mutate the trace).
@@ -58,30 +88,54 @@ def bench_scenario(abbr: str, mode: str, scale: float,
                                  num_ctas=2 * cfg.num_sms,
                                  total_accesses=_accesses_for(abbr, scale),
                                  max_kernels=3)
-    best: Optional[dict] = None
+    samples: list[float] = []
+    best_wall: Optional[float] = None
+    events = 0
+    cycles = 0.0
     for _ in range(max(1, repeat)):
         system = GPUSystem(cfg, workload, policy=mode)
+        if counters:
+            system.enable_program_counters()
         t0 = time.perf_counter()
         result = system.run()
         wall = time.perf_counter() - t0
         events = system.engine.events_processed
-        row = {
-            "wall_s": wall,
-            "events": events,
-            "events_per_sec": events / wall if wall > 0 else 0.0,
-            "cycles": result.cycles,
-        }
-        if best is None or row["wall_s"] < best["wall_s"]:
-            best = row
-    return best
+        cycles = result.cycles
+        samples.append(events / wall if wall > 0 else 0.0)
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+    return {
+        "tier": tier,
+        "wall_s": best_wall,
+        "events": events,
+        "events_per_sec": statistics.median(samples),
+        "cycles": cycles,
+        "samples": samples,
+    }
 
 
 def run_bench(scale: float, benchmark_abbr: str = DEFAULT_BENCHMARK,
-              modes: Sequence[str] = MODES, repeat: int = 1) -> dict:
-    """Run every scenario; returns the full ``BENCH_hotpath.json`` payload."""
+              modes: Optional[Sequence[str]] = None, repeat: int = 1,
+              tiers: Sequence[str] = TIERS) -> dict:
+    """Run every scenario under every requested tier; returns the full
+    ``BENCH_hotpath.json`` payload.
+
+    Args:
+        scale: trace scale forwarded to the workload generator.
+        benchmark_abbr: catalog benchmark to time.
+        modes: restrict to these LLC policies (default: every scenario in
+            :data:`SCENARIOS`, including ``adaptive+counters``).
+        repeat: timing attempts per scenario (all recorded as samples).
+        tiers: execution tiers to time (default: both).
+    """
     out: dict = {}
-    for mode in modes:
-        out[mode] = bench_scenario(benchmark_abbr, mode, scale, repeat)
+    for name, mode, counters in SCENARIOS:
+        if modes is not None and mode not in modes:
+            continue
+        for tier in tiers:
+            out[scenario_key(name, tier)] = bench_scenario(
+                benchmark_abbr, mode, scale, repeat,
+                tier=tier, counters=counters)
     out["_meta"] = {
         "benchmark": benchmark_abbr,
         "scale": scale,
@@ -90,6 +144,23 @@ def run_bench(scale: float, benchmark_abbr: str = DEFAULT_BENCHMARK,
         "platform": platform.platform(),
     }
     return out
+
+
+def tier_speedups(data: dict) -> dict[str, float]:
+    """Fastpath-over-event speedup per scenario that was timed under both
+    tiers.  Keys are the bare scenario names; empty when the record holds
+    only one tier (e.g. a pre-tier baseline)."""
+    speedups = {}
+    for scenario, row in data.items():
+        if scenario.startswith("_") or "[" in scenario:
+            continue
+        fast = data.get(scenario_key(scenario, "fastpath"))
+        if fast is None:
+            continue
+        base_eps = row["events_per_sec"]
+        if base_eps > 0:
+            speedups[scenario] = fast["events_per_sec"] / base_eps
+    return speedups
 
 
 def write_bench(path: str, data: dict) -> None:
@@ -110,7 +181,8 @@ def compare_bench(current: dict, baseline: dict,
 
     Args:
         current: freshly measured payload (:func:`run_bench` shape).
-        baseline: previously committed payload.
+        baseline: previously committed payload (any schema version — only
+            ``events_per_sec`` is read).
         max_regress: allowed fractional slowdown (0.30 = current may be up
             to 30% slower before it counts as a regression — headroom for
             machine-to-machine and CI-runner variance).

@@ -209,25 +209,48 @@ def _run_mix(args: argparse.Namespace, campaign: Campaign,
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.bench import (compare_bench, load_bench, run_bench,
-                             write_bench)
+    from repro.bench import (TIERS, compare_bench, load_bench, run_bench,
+                             tier_speedups, write_bench)
 
+    tiers = TIERS if args.tier == "both" else (args.tier,)
     data = run_bench(args.scale, benchmark_abbr=args.benchmark,
-                     repeat=args.repeat)
-    rows = [{"scenario": mode, **data[mode]}
-            for mode in data if not mode.startswith("_")]
+                     repeat=args.repeat, tiers=tiers)
+    rows = [{"scenario": key, "tier": row["tier"],
+             "wall_s": row["wall_s"], "events": row["events"],
+             "events_per_sec": row["events_per_sec"],
+             "cycles": row["cycles"]}
+            for key, row in data.items() if not key.startswith("_")]
     print_rows(rows)
     write_bench(args.out, data)
     print(f"[bench] wrote {args.out}")
+    ok = True
+    if args.min_tier_speedup > 0:
+        speedups = tier_speedups(data)
+        if not speedups:
+            print("error: --min-tier-speedup needs both tiers timed "
+                  "(use --tier both)", file=sys.stderr)
+            ok = False
+        for scenario, speedup in sorted(speedups.items()):
+            if speedup < args.min_tier_speedup:
+                print(f"error: tier speedup — {scenario}: fastpath is only "
+                      f"{speedup:.2f}x the event tier "
+                      f"(< {args.min_tier_speedup:.2f}x)", file=sys.stderr)
+                ok = False
+        if ok:
+            worst = min(speedups.values())
+            print(f"[bench] fastpath ≥{worst:.2f}x event tier on every "
+                  f"scenario (gate {args.min_tier_speedup:.2f}x)")
     if args.baseline:
         failures = compare_bench(data, load_bench(args.baseline),
                                  max_regress=args.max_regress)
         if failures:
             for failure in failures:
                 print(f"error: perf regression — {failure}", file=sys.stderr)
-            return 1
-        print(f"[bench] within {args.max_regress:.0%} of {args.baseline}")
-    return 0
+            ok = False
+        else:
+            print(f"[bench] within {args.max_regress:.0%} of "
+                  f"{args.baseline}")
+    return 0 if ok else 1
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -573,7 +596,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="trace scale: float or preset "
                               "(smoke/small/medium/paper); default medium")
     p_bench.add_argument("--repeat", type=int, default=1, metavar="N",
-                         help="timing attempts per scenario (best is kept)")
+                         help="timing attempts per scenario (every sample "
+                              "recorded; median events/sec reported)")
+    p_bench.add_argument("--tier", default="both",
+                         choices=("event", "fastpath", "both"),
+                         help="execution tier(s) to time (default: both)")
+    p_bench.add_argument("--min-tier-speedup", type=float, default=0.0,
+                         metavar="X",
+                         help="fail unless fastpath is at least X times the "
+                              "event tier on every scenario (needs --tier "
+                              "both; 0 disables the gate)")
     p_bench.add_argument("--out", default="BENCH_hotpath.json", metavar="FILE",
                          help="output record (default: BENCH_hotpath.json)")
     p_bench.add_argument("--baseline", default=None, metavar="FILE",

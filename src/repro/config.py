@@ -250,6 +250,13 @@ class GPUConfig(_SerializableConfig):
     # --- scheduling ---------------------------------------------------------
     cta_scheduler: str = "two_level_rr"  # "two_level_rr" | "bcs" | "dcs"
 
+    # --- execution tier ------------------------------------------------------
+    # "event" schedules one heap event per pipeline stage boundary;
+    # "fastpath" collapses deterministic round trips into closed-form
+    # arithmetic (see repro.gpu.fastpath).  Results are byte-identical by
+    # contract; the tier only changes how fast they are computed.
+    tier: str = "event"
+
     # ------------------------------------------------------------------ api
     @staticmethod
     def baseline() -> "GPUConfig":
@@ -259,6 +266,17 @@ class GPUConfig(_SerializableConfig):
     def replace(self, **kwargs) -> "GPUConfig":
         """Return a copy with the given fields overridden."""
         return dataclasses.replace(self, **kwargs)
+
+    def to_dict(self) -> dict:
+        """Canonical dict form.  The execution tier is elided at its
+        default ("event") because the tier cannot change simulation results
+        — only how fast they are computed — and pre-tier serialized configs
+        (campaign caches, golden captures) must keep hashing to the same
+        content key."""
+        data = dataclasses.asdict(self)
+        if data["tier"] == "event":
+            del data["tier"]
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "GPUConfig":
@@ -334,3 +352,5 @@ class GPUConfig(_SerializableConfig):
             raise ValueError(f"unknown topology {self.noc.topology!r}")
         if self.cta_scheduler not in ("two_level_rr", "bcs", "dcs"):
             raise ValueError(f"unknown CTA scheduler {self.cta_scheduler!r}")
+        if self.tier not in ("event", "fastpath"):
+            raise ValueError(f"unknown execution tier {self.tier!r}")

@@ -46,7 +46,10 @@ from repro.policy import canonical_policy_params
 #: v3: the Scenario API — specs gain a canonical per-program policy
 #: serialization (``mode_b``/``policy_params_b``) and pair results carry
 #: per-program policy/transition payloads, so v2 records are stale.
-CACHE_VERSION = 3
+#: v4: the execution-tier flag — ``GPUConfig.tier`` joins the spec content
+#: key (elided at its "event" default, so event-tier keys are unchanged);
+#: the bump retires any v3 record written while the tier field was unknown.
+CACHE_VERSION = 4
 
 
 def _canonical_policy_params(mode: str, params) -> tuple:

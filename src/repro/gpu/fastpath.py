@@ -1,0 +1,1068 @@
+"""Fast-path execution tier: deterministic round trips in closed form.
+
+The event tier (:mod:`repro.gpu.system`) advances a memory request with one
+engine event per queue boundary — SM issue, slice arrival, DRAM return,
+reply launch, SM fill — and each boundary handler re-traverses the Python
+object graph (topology → router → port → server) to price its hops.  Every
+one of those hops is *deterministic arithmetic* over
+:meth:`~repro.sim.server.BandwidthServer.enqueue`: given the arrival time,
+the completion time is a pure function of server state.  This module
+exploits that by installing specialized stage handlers that
+
+* collapse each stage into one **closed-form expression** — the chained
+  enqueue arithmetic of every server on the route, the LRU tag-array scan,
+  the MSHR table operations and the DRAM bank state machine are inlined
+  into straight-line operations over prebuilt per-route object tables, so
+  a whole queue boundary costs zero method dispatches; and
+* hand the next stage to the engine as a **continuation**
+  (``return (time, fn, arg)``) instead of a fresh ``schedule_call``, so the
+  engine swaps it into the heap slot the finished event occupied
+  (``heapreplace``).  A full L1-miss round trip — including the deferred
+  SM wake its fill provokes — then costs one real heap insertion (the
+  issue) instead of four to six push/pop pairs.
+
+Why results stay byte-identical
+-------------------------------
+Correctness hinges on feeding every shared server (router ports, slice
+ports, the DRAM bus) its jobs in exactly the order the event tier would:
+collapsing a round trip *eagerly* at issue time would let a request delayed
+upstream overtake an earlier-arriving one at a shared port and shift
+completion times.  The fast path therefore keeps the **same 1:1 event
+schedule** — every queue boundary still fires at its exact event-tier time
+with the same FIFO sequence number (the continuation protocol assigns the
+seq a trailing ``schedule_call`` would have drawn) — and takes its speedup
+purely from doing less Python per event.  Identical schedule, identical
+float expressions (operand shapes are mirrored operation for operation;
+the XOR folds of the PAE mapping distribute over the window mask, so the
+flattened hash is bit-identical), identical counters ⇒ identical
+:class:`~repro.gpu.system.RunResult`, which the tier-parity suite pins
+against the golden captures.
+
+Stateful points stay on the event path by construction: MSHR merges, full
+MSHR stalls, store-buffer backpressure and barrier parking all live in the
+(copied) SM drain loop; write retirement ordering and wake coalescing
+mirror the system's ``_on_write_retired`` exactly.
+
+Tier flushes
+------------
+The handlers specialize on each program's LLC mode (private vs. shared
+routing) as a cached per-program flag, so the per-request path pays one
+list index instead of a controller-mode property chain.  That cache is only
+valid within a mode epoch: every reconfiguration funnels through
+``GPUSystem.update_bypass`` (the policy controllers' ``on_transition`` hook
+calls it after each mode change), which the installer wraps to **flush the
+tier** — recompute the cached flags — before any post-transition request is
+issued.  Interval controllers therefore observe exactly the counter windows
+the event tier produces.  Bypass state and per-slice write policy are read
+dynamically, as the event tier reads them.
+
+Scope: the inlined routes encode the hierarchical crossbar and the inlined
+recency updates encode true-LRU tag stores; systems built on other
+topologies, with non-LRU replacement, with a nonzero tag-store
+``index_shift`` or with non-uniform set counts silently keep the event
+tier — :func:`install_fastpath` returns ``False``.
+"""
+
+from __future__ import annotations
+
+from heapq import heappush
+
+from repro.cache.mshr import MSHREntry
+from repro.cache.replacement import LRUPolicy
+from repro.core.modes import LLCMode
+from repro.mem.address_map import PAEMapping
+from repro.mem.dram import DRAMBank
+from repro.noc.hierarchical_xbar import BYPASS_CYCLES, HierarchicalCrossbar
+from repro.noc.topology import LONG_LINK_CYCLES, SHORT_LINK_CYCLES
+
+
+def install_fastpath(system) -> bool:
+    """Specialize ``system``'s pipeline stage methods in place.
+
+    Returns True when the fast path was installed, False when the system's
+    shape is outside the specialized envelope (see module docstring) and
+    the event tier remains active.
+    """
+    from repro.gpu.system import Request
+
+    topo = system.topology
+    if not isinstance(topo, HierarchicalCrossbar):
+        return False
+    slice_stores = [sl.store for sl in system.llc_slices]
+    l1_stores = [sm.l1._store for sm in system.sms]
+    if any(st.index_shift for st in slice_stores + l1_stores):
+        return False
+    if any(type(p) is not LRUPolicy
+           for st in slice_stores + l1_stores for p in st._policies):
+        return False
+    if (len({st.num_sets for st in slice_stores}) != 1
+            or len({st.num_sets for st in l1_stores}) != 1):
+        return False
+
+    # ---------------------------------------------------------- constants
+    engine = system.engine
+    heap = engine._heap              # rewritten in place by _compact, so
+    #                                  the reference stays valid for the run
+    programs = system.programs
+    llc_slices = system.llc_slices
+    mcs = system.mcs
+    mapping = system.mapping
+    pool = system._req_pool
+    locality = system.locality
+    loc_note = locality.note if locality is not None else None
+    maybe_finish_sm = system._maybe_finish_sm
+
+    num_slices = system.cfg.num_llc_slices
+    spm = topo.slices_per_mc
+    spc = topo.sms_per_cluster
+    pipeline = topo.pipeline            # int, as RouterModel.forward adds it
+    SHORT = SHORT_LINK_CYCLES
+    LONG = LONG_LINK_CYCLES
+    BYPASS = BYPASS_CYCLES
+    req_r_i = topo._req_flits[False]
+    req_w_i = topo._req_flits[True]
+    rep_i = topo._rep_flits[False]      # writes retire at the slice
+    req_r_f = float(req_r_i)
+    req_w_f = float(req_w_i)
+    rep_f = float(rep_i)
+    line_flits_i = system.cfg.line_flits
+    line_flits_f = float(line_flits_i)
+    resp_incr = line_flits_i + 1        # body + head flit, as LLCSlice adds
+    llc_latency = float(system.cfg.llc_latency_cycles)
+
+    # Tag-array internals, indexed by slice / SM id.  The per-set key and
+    # dirty lists and the LRU order lists are mutated in place by every
+    # path (including flush/clean), so capturing them once is safe.
+    llc_keysets = [st._keys for st in slice_stores]
+    llc_dirty = [st._dirty for st in slice_stores]
+    llc_orders = [[p._order for p in st._policies] for st in slice_stores]
+    llc_num_sets = slice_stores[0].num_sets
+    tag_ports = [sl.tag_port for sl in llc_slices]
+    data_ports = [sl.data_port for sl in llc_slices]
+    l1_keysets = [st._keys for st in l1_stores]
+    l1_dirty_all = [st._dirty for st in l1_stores]
+    l1_orders_all = [[p._order for p in st._policies] for st in l1_stores]
+    l1_num_sets = l1_stores[0].num_sets
+
+    # DRAM internals (channels are built uniformly from one config).
+    ch0 = mcs[0].channel
+    lines_per_row = ch0.lines_per_row
+    xfer_cycles = ch0._xfer_cycles
+    timing = ch0.timing
+    tCL = timing.tCL
+    tCCD = timing.tCCD
+    tRP = timing.tRP
+    tRCD = timing.tRCD
+    tRC = timing.tRC
+    wr_extra = timing.tWR - tCCD if timing.tWR > tCCD else 0  # exact: ints
+    REORDER = DRAMBank.REORDER_BASE
+    ROW_LIMIT = DRAMBank._ROW_TABLE_LIMIT
+    channels = [mc.channel for mc in mcs]
+    banks_of = [mc.channel.banks for mc in mcs]
+    busses = [mc.channel.bus for mc in mcs]
+    bank_memo = [mc._bank_of for mc in mcs]
+
+    # Address hashing: the PAE folds are flattened to one expression each
+    # (``(a & m) ^ (b & m) == (a ^ b) & m``, and ``// 16`` / ``// 4`` are
+    # arithmetic shifts for the non-negative line keys *and* for negatives,
+    # since Python's ``>>`` floors).  Other mappings fall back to the
+    # method call on memo misses.
+    is_pae = type(mapping) is PAEMapping
+    num_mcs = mapping.num_mcs
+    map_spm = mapping.slices_per_mc
+    num_banks = mapping.num_banks
+    mc_of_key = mapping.mc_of
+    slice_of_key = mapping.slice_of
+    bank_of_key = mapping.bank_of
+
+    # Routes: every (sm, slice) pair's server chain, resolved once into
+    # dense tables indexed by ``sm_id * num_slices + slice_global``.  The
+    # tuples hold the exact objects the topology would traverse, so the
+    # inlined arithmetic mutates the same state in the same order.
+    req_routes: list = [None] * (system.cfg.num_sms * num_slices)
+    rep_routes: list = [None] * (system.cfg.num_sms * num_slices)
+    for sm_id in range(system.cfg.num_sms):
+        cl = sm_id // spc
+        sm_srv = topo.sm_links[sm_id].server
+        req_smr = topo.req_sm_routers[cl]
+        rep_smr = topo.rep_sm_routers[cl]
+        rep_smr_port = rep_smr.output_ports[sm_id % spc]
+        rep_dist = topo.rep_dist[sm_id]
+        for mc in range(topo.num_mcs):
+            req_longw = topo.req_long[cl][mc]
+            rep_longw = topo.rep_long[mc][cl]
+            req_smr_port = req_smr.output_ports[mc]
+            req_mcr = topo.req_mc_routers[mc]
+            rep_mcr = topo.rep_mc_routers[mc]
+            rep_mcr_port = rep_mcr.output_ports[cl]
+            for sl_local in range(spm):
+                sg = mc * spm + sl_local
+                req_routes[sm_id * num_slices + sg] = (
+                    sm_srv, req_smr, req_smr_port, req_longw,
+                    req_mcr, req_mcr.output_ports[sl_local],
+                    topo.req_dist[sg])
+                rep_routes[sm_id * num_slices + sg] = (
+                    topo.slice_links[sg].server, rep_mcr, rep_mcr_port,
+                    rep_longw, rep_smr, rep_smr_port, rep_dist)
+
+    # Route memoization for non-PAE mappings (mirroring the event tier's
+    # _shared_route/_mc_of).  Under PAE the flattened folds are cheaper
+    # than a dict probe on streaming key sets, so they are computed inline
+    # every time instead.
+    shared_route: dict[int, tuple[int, int, int]] = {}
+    mc_of: dict[int, int] = {}
+
+    # Mode specialization: one bool per program, refreshed by tier_flush().
+    mode_private = [False] * len(programs)
+
+    def tier_flush() -> None:
+        """Re-derive the per-program mode flags.  Runs at install and from
+        every reconfiguration (update_bypass), i.e. at each epoch boundary
+        a policy controller can move, so no request is ever routed under a
+        stale mode."""
+        for i, prog in enumerate(programs):
+            mode_private[i] = prog.mode is LLCMode.PRIVATE
+
+    # ------------------------------------------------------------- issue
+    def acquire(sm, key: int):
+        if mode_private[sm.program_id]:
+            if is_pae:
+                r = key >> 4
+                mc = ((r ^ (r >> 7) ^ (r >> 14) ^ (r >> 21))
+                      & 0x7F) % num_mcs
+            else:
+                mc = mc_of.get(key)
+                if mc is None:
+                    mc = mc_of_key(key)
+                    mc_of[key] = mc
+            slice_local = sm.cluster_id
+            slice_global = mc * spm + slice_local
+        elif is_pae:
+            r = key >> 4
+            mc = ((r ^ (r >> 7) ^ (r >> 14) ^ (r >> 21)) & 0x7F) % num_mcs
+            slice_local = ((key ^ (key >> 11) ^ (key >> 22)
+                            ^ (key >> 33)) & 0x7FF) % map_spm
+            slice_global = mc * spm + slice_local
+        else:
+            route = shared_route.get(key)
+            if route is None:
+                mc = mc_of_key(key)
+                slice_local = slice_of_key(key)
+                route = (mc, slice_local, mc * spm + slice_local)
+                shared_route[key] = route
+            mc, slice_local, slice_global = route
+        if pool:
+            req = pool.pop()
+            req.sm = sm
+            req.key = key
+            req.mc = mc
+            req.slice_local = slice_local
+            req.slice_global = slice_global
+        else:
+            req = Request(sm, key, mc, slice_local, slice_global)
+        return req
+
+    def request_network(req, when: float, flits_f: float,
+                        flits_i: int) -> float:
+        """Closed-form request traversal: SM link → SM-router → long wire →
+        [bypass | MC-router → distribution wire].  Mirrors
+        HierarchicalCrossbar.request_arrival operation for operation."""
+        (sm_srv, smr, smr_port, longw, mcr, mcr_port, distw) = \
+            req_routes[req.sm.sm_id * num_slices + req.slice_global]
+        busy = sm_srv.busy_until
+        t = (busy if busy > when else when) + flits_f
+        sm_srv.busy_until = t
+        sm_srv.busy_cycles += flits_f
+        sm_srv.jobs += 1
+        t = t + SHORT
+        busy = smr_port.busy_until
+        done = (busy if busy > t else t) + flits_f
+        smr_port.busy_until = done
+        smr_port.busy_cycles += flits_f
+        smr_port.jobs += 1
+        smr.buffer_flits += flits_i
+        smr.xbar_flits += flits_i
+        smr.packets += 1
+        t = done + pipeline
+        longw.flits += flits_i
+        t = t + LONG
+        if topo.bypass:
+            if req.slice_local != req.sm.cluster_id:
+                raise ValueError(
+                    "bypassed MC-router can only reach the requester's own "
+                    f"private slice (cluster {req.sm.cluster_id}, asked "
+                    f"{req.slice_local})")
+            return t + BYPASS
+        busy = mcr_port.busy_until
+        done = (busy if busy > t else t) + flits_f
+        mcr_port.busy_until = done
+        mcr_port.busy_cycles += flits_f
+        mcr_port.jobs += 1
+        mcr.buffer_flits += flits_i
+        mcr.xbar_flits += flits_i
+        mcr.packets += 1
+        t = done + pipeline
+        distw.flits += flits_i
+        return t + SHORT
+
+    def issue_read(sm, key: int, when: float) -> None:
+        req = acquire(sm, key)
+        if loc_note is not None:
+            loc_note(key, sm.cluster_id, when)
+        arrive = request_network(req, when, req_r_f, req_r_i)
+        seq = engine._seq
+        engine._seq = seq + 1
+        heappush(heap, (arrive, seq, None, read_by_sg[req.slice_global],
+                        req))
+
+    def issue_write(sm, key: int, when: float) -> None:
+        req = acquire(sm, key)
+        if loc_note is not None:
+            loc_note(key, sm.cluster_id, when)
+        arrive = request_network(req, when, req_w_f, req_w_i)
+        seq = engine._seq
+        engine._seq = seq + 1
+        heappush(heap, (arrive, seq, None, write_by_sg[req.slice_global],
+                        req))
+
+    # -------------------------------------------------------------- DRAM
+    def dram_access(mc_id: int, now: float, key: int, is_write: bool):
+        """Inlined DRAMBank.access + bus enqueue (DRAMChannel.access),
+        operand order mirrored.  Write-side only — the read path repeats
+        this arithmetic inline at its single call site in read_at_slice."""
+        if is_pae:
+            r = key >> 6
+            bank = ((r ^ (r >> 9) ^ (r >> 18) ^ (r >> 27))
+                    & 0x1FF) % num_banks
+        else:
+            memo = bank_memo[mc_id]
+            bank = memo.get(key)
+            if bank is None:
+                bank = bank_of_key(key)
+                memo[key] = bank
+        b = banks_of[mc_id][bank]
+        row = key // lines_per_row
+        busy = b.busy_until
+        start = busy if busy > now else now
+        backlog = busy - now
+        if backlog < 0.0:
+            backlog = 0.0
+        window = backlog + REORDER
+        seen = b._row_last_seen
+        last = seen.get(row)
+        if row == b.open_row or (last is not None and now - last <= window):
+            b.row_hits += 1
+            ready = start + tCCD
+        else:
+            b.row_misses += 1
+            la = b.last_activate + tRC
+            activate_at = la if la > start else start
+            ready = activate_at + tRP + tRCD
+            b.last_activate = activate_at
+        b.open_row = row
+        seen[row] = now
+        if len(seen) > ROW_LIMIT:
+            cutoff = now - 4 * window
+            b._row_last_seen = {r: ts for r, ts in seen.items()
+                                if ts >= cutoff}
+        if is_write:
+            ready += wr_extra
+        b.busy_until = ready
+        bus = busses[mc_id]
+        busy = bus.busy_until
+        bus_done = (busy if busy > ready else ready) + xfer_cycles
+        bus.busy_until = bus_done
+        bus.busy_cycles += xfer_cycles
+        bus.jobs += 1
+        return bus_done
+
+    def mc_write(mc_id: int, now: float, key: int) -> None:
+        mcs[mc_id].write_requests += 1
+        dram_access(mc_id, now, key, True)
+        channels[mc_id].writes += 1
+
+    # ------------------------------------------------------ slice stages
+    # GPUSystem._profile is inlined at each slice access below: program
+    # counters first (gated on the dynamically-read count_program_llc flag,
+    # which enable_program_counters() may flip after construction), then
+    # the shared-mode epoch profiler.
+    #
+    # Like the SM handlers, the slice handlers are specialized per slice:
+    # the slice's ports, tag arrays and — since the memory controller
+    # behind a slice is fixed by construction (``sg = mc * spm + local``) —
+    # its DRAM banks, bus and channel all live in closure cells, so a
+    # slice event performs no table indexing at all.
+    def make_slice_closures(sg):
+        sl = llc_slices[sg]
+        tag = tag_ports[sg]
+        data = data_ports[sg]
+        store = slice_stores[sg]
+        keys_by_set = llc_keysets[sg]
+        dirty_by_set = llc_dirty[sg]
+        orders_by_set = llc_orders[sg]
+        mc = sg // spm
+        mc_stats = mcs[mc]
+        chan = channels[mc]
+        banks = banks_of[mc]
+        bus = busses[mc]
+        memo = bank_memo[mc]
+        # Reply routes for this slice, indexed by sm_id (rep_routes is laid
+        # out sm-major, so a stride-num_slices slice extracts the column).
+        routes_by_sm = rep_routes[sg::num_slices]
+
+        def read_s(req):
+            now = engine.now
+            key = req.key
+            sl.window_accesses += 1
+            busy = tag.busy_until
+            tag_done = (busy if busy > now else now) + 1.0
+            tag.busy_until = tag_done
+            tag.busy_cycles += 1.0
+            tag.jobs += 1
+            set_idx = key % llc_num_sets
+            keys = keys_by_set[set_idx]
+            if key in keys:
+                store.hits += 1
+                way = keys.index(key)
+                order = orders_by_set[set_idx]
+                order.remove(way)
+                order.append(way)
+                sl.read_hits += 1
+                busy = data.busy_until
+                exit_time = (busy if busy > tag_done
+                             else tag_done) + line_flits_f
+                data.busy_until = exit_time
+                data.busy_cycles += line_flits_f
+                data.jobs += 1
+                sl.response_flits += resp_incr
+                sm = req.sm
+                prog = programs[sm.program_id]
+                if system.count_program_llc:
+                    prog.llc_accesses += 1
+                    prog.llc_hits += 1
+                ctrl = prog.controller
+                if ctrl is not None and not mode_private[sm.program_id]:
+                    profiler = ctrl.profiler
+                    if profiler is not None and profiler.active:
+                        profiler.observe_request(key, sm.cluster_id, mc,
+                                                 sg, True)
+                return (exit_time + llc_latency, reply_s, req)
+            store.misses += 1
+            # Inlined SetAssocCache._allocate, read fills are clean: first
+            # invalid way, else the LRU victim.
+            dirty_bits = dirty_by_set[set_idx]
+            order = orders_by_set[set_idx]
+            wb_key = None
+            if None in keys:
+                way = keys.index(None)
+            else:
+                way = order[0]
+                store.evictions += 1
+                if dirty_bits[way]:
+                    store.writebacks += 1
+                    wb_key = keys[way]
+            keys[way] = key
+            dirty_bits[way] = False
+            order.remove(way)
+            order.append(way)
+            sl.read_misses += 1
+            sm = req.sm
+            prog = programs[sm.program_id]
+            if system.count_program_llc:
+                prog.llc_accesses += 1
+            ctrl = prog.controller
+            if ctrl is not None and not mode_private[sm.program_id]:
+                profiler = ctrl.profiler
+                if profiler is not None and profiler.active:
+                    profiler.observe_request(key, sm.cluster_id, mc,
+                                             sg, False)
+            if wb_key is not None:
+                mc_write(mc, tag_done, wb_key)
+            # Inlined mc_read → dram_access: every read miss lands here,
+            # so the bank state machine is flattened once more at this one
+            # site.
+            mc_stats.read_requests += 1
+            if is_pae:
+                r = key >> 6
+                bank = ((r ^ (r >> 9) ^ (r >> 18) ^ (r >> 27))
+                        & 0x1FF) % num_banks
+            else:
+                bank = memo.get(key)
+                if bank is None:
+                    bank = bank_of_key(key)
+                    memo[key] = bank
+            b = banks[bank]
+            row = key // lines_per_row
+            busy = b.busy_until
+            start = busy if busy > tag_done else tag_done
+            backlog = busy - tag_done
+            if backlog < 0.0:
+                backlog = 0.0
+            window = backlog + REORDER
+            seen = b._row_last_seen
+            last = seen.get(row)
+            if row == b.open_row or (last is not None
+                                     and tag_done - last <= window):
+                b.row_hits += 1
+                dram_ready = start + tCCD
+            else:
+                b.row_misses += 1
+                la = b.last_activate + tRC
+                activate_at = la if la > start else start
+                dram_ready = activate_at + tRP + tRCD
+                b.last_activate = activate_at
+            b.open_row = row
+            seen[row] = tag_done
+            if len(seen) > ROW_LIMIT:
+                cutoff = tag_done - 4 * window
+                b._row_last_seen = {r: ts for r, ts in seen.items()
+                                    if ts >= cutoff}
+            b.busy_until = dram_ready
+            busy = bus.busy_until
+            bus_done = (busy if busy > dram_ready
+                        else dram_ready) + xfer_cycles
+            bus.busy_until = bus_done
+            bus.busy_cycles += xfer_cycles
+            bus.jobs += 1
+            chan.reads += 1
+            return (bus_done + tCL, fill_s, req)
+
+        def fill_s(req):
+            busy = data.busy_until
+            now = engine.now
+            exit_time = (busy if busy > now else now) + line_flits_f
+            data.busy_until = exit_time
+            data.busy_cycles += line_flits_f
+            data.jobs += 1
+            sl.response_flits += resp_incr
+            return (exit_time + llc_latency, reply_s, req)
+
+        def reply_s(req):
+            """Closed-form reply traversal: slice link → [bypass |
+            MC-router] → long wire → SM-router → distribution wire,
+            mirroring HierarchicalCrossbar.reply_arrival."""
+            now = engine.now
+            sm = req.sm
+            (sl_srv, mcr, mcr_port, longw, smr, smr_port, distw) = \
+                routes_by_sm[sm.sm_id]
+            busy = sl_srv.busy_until
+            t = (busy if busy > now else now) + rep_f
+            sl_srv.busy_until = t
+            sl_srv.busy_cycles += rep_f
+            sl_srv.jobs += 1
+            t = t + SHORT
+            if topo.bypass and req.slice_local == sm.cluster_id:
+                t = t + BYPASS
+            else:
+                # Shared mode, or an in-flight reply draining through a
+                # still-powered MC-router after a switch to private.
+                busy = mcr_port.busy_until
+                done = (busy if busy > t else t) + rep_f
+                mcr_port.busy_until = done
+                mcr_port.busy_cycles += rep_f
+                mcr_port.jobs += 1
+                mcr.buffer_flits += rep_i
+                mcr.xbar_flits += rep_i
+                mcr.packets += 1
+                t = done + pipeline
+            longw.flits += rep_i
+            t = t + LONG
+            busy = smr_port.busy_until
+            done = (busy if busy > t else t) + rep_f
+            smr_port.busy_until = done
+            smr_port.busy_cycles += rep_f
+            smr_port.jobs += 1
+            smr.buffer_flits += rep_i
+            smr.xbar_flits += rep_i
+            smr.packets += 1
+            t = done + pipeline
+            distw.flits += rep_i
+            return (t + SHORT, sm._fp_fill, req)
+
+        def write_s(req):
+            now = engine.now
+            sm = req.sm
+            key = req.key
+            write_through = mode_private[sm.program_id]
+            sl.window_accesses += 1
+            busy = tag.busy_until
+            tag_done = (busy if busy > now else now) + 1.0
+            tag.busy_until = tag_done
+            tag.busy_cycles += 1.0
+            tag.jobs += 1
+            set_idx = key % llc_num_sets
+            keys = keys_by_set[set_idx]
+            wb_key = None
+            if key in keys:
+                way = keys.index(key)
+                store.hits += 1
+                order = orders_by_set[set_idx]
+                order.remove(way)
+                order.append(way)
+                if not write_through:
+                    dirty_by_set[set_idx][way] = True
+                hit = True
+            else:
+                store.misses += 1
+                dirty_bits = dirty_by_set[set_idx]
+                order = orders_by_set[set_idx]
+                if None in keys:
+                    way = keys.index(None)
+                else:
+                    way = order[0]
+                    store.evictions += 1
+                    if dirty_bits[way]:
+                        store.writebacks += 1
+                        wb_key = keys[way]
+                keys[way] = key
+                dirty_bits[way] = not write_through
+                order.remove(way)
+                order.append(way)
+                hit = False
+            if hit:
+                sl.write_hits += 1
+            else:
+                sl.write_misses += 1
+            busy = data.busy_until
+            done = (busy if busy > tag_done else tag_done) + line_flits_f
+            data.busy_until = done
+            data.busy_cycles += line_flits_f
+            data.jobs += 1
+            if write_through:
+                sl.dram_writes += 1
+            prog = programs[sm.program_id]
+            if system.count_program_llc:
+                prog.llc_accesses += 1
+                if hit:
+                    prog.llc_hits += 1
+            ctrl = prog.controller
+            if ctrl is not None and not write_through:
+                profiler = ctrl.profiler
+                if profiler is not None and profiler.active:
+                    profiler.observe_request(key, sm.cluster_id, mc, sg,
+                                             hit)
+            if wb_key is not None:
+                mc_write(mc, done, wb_key)
+            if write_through:
+                mc_write(mc, done, key)
+            req.sm = None
+            pool.append(req)
+            return (done if done > now else now, sm._fp_retired, sm)
+
+        return read_s, fill_s, reply_s, write_s
+
+    read_by_sg = [None] * num_slices
+    fill_by_sg = [None] * num_slices
+    reply_by_sg = [None] * num_slices
+    write_by_sg = [None] * num_slices
+    for _sg in range(num_slices):
+        (read_by_sg[_sg], fill_by_sg[_sg], reply_by_sg[_sg],
+         write_by_sg[_sg]) = make_slice_closures(_sg)
+
+    # Dispatchers with the event-tier signatures, for callers outside the
+    # per-request path.
+    def read_at_slice(req):
+        return read_by_sg[req.slice_global](req)
+
+    def fill_at_slice(req):
+        return fill_by_sg[req.slice_global](req)
+
+    def launch_reply(req):
+        return reply_by_sg[req.slice_global](req)
+
+    def write_at_slice(req):
+        return write_by_sg[req.slice_global](req)
+
+    # ------------------------------------------------------------ SM loop
+    def make_sm_closures(sm):
+        """Build ``sm``'s private (wake, fill, retired) handler triple.
+
+        The drain loop fires ~2.5x per round trip (deferred self-wakes plus
+        fill/retire provocations) and its event-tier shape pays ~17
+        attribute loads of per-SM plumbing before touching a warp.  Binding
+        that plumbing — tag arrays, LRU orders, MSHR table, deque methods —
+        into closure cells once per SM turns the whole prologue into frame
+        setup.  ``launch_reply`` and ``write_at_slice`` dispatch straight to
+        ``sm._fp_fill`` / ``sm._fp_retired``, so the per-request path never
+        re-derives any of it.  Bypass bounds and the global stall horizon
+        stay per-call reads: reconfiguration moves them between drains.
+        The ready deque is also re-read per call — ``load_kernel`` replaces
+        it at every kernel boundary (the L1 tag arrays and MSHR table it
+        merely clears in place, so those cells stay valid)."""
+        l1 = sm.l1
+        l1_store = l1._store
+        smid = sm.sm_id
+        l1_sets = l1_keysets[smid]
+        l1_orders = l1_orders_all[smid]
+        l1_dirty = l1_dirty_all[smid]
+        mshr = sm.mshr
+        mshr_entries = mshr._entries
+        mshr_capacity = mshr.num_entries
+        cluster_id = sm.cluster_id
+        program_id = sm.program_id        # fixed in _build_programs
+        # This SM's request-route row, indexed by slice_global.
+        req_routes_sm = req_routes[smid * num_slices:
+                                   (smid + 1) * num_slices]
+
+        def wake(_):
+            """The event tier's _sm_wake drain loop, specialized: the L1
+            and MSHR lookups are inlined down to their table scans and
+            issues go through the closed-form network closures.  Control
+            flow (barriers, MSHR merge/stall, store-buffer credits, wake
+            coalescing) is copied verbatim — these are the stateful points
+            that must not be collapsed.  Follows the continuation protocol:
+            a deferred self-wake is *returned* (so a dispatching event
+            hands over its heap slot), never pushed — fill/retired
+            propagate it and the engine assigns the seq the event tier
+            would have drawn."""
+            sm.wake_scheduled = False
+            sm.mshr_blocked_at = -1.0
+            now = engine.now
+            stall_until = system.global_stall_until
+            gap = sm.gap_cycles
+            instrs = sm.instrs_per_access
+            bypass_lo = sm.l1_bypass_lo
+            bypass_hi = sm.l1_bypass_hi
+            has_bypass = bypass_lo < bypass_hi
+            ready = sm.ready
+            popleft = ready.popleft
+            append = ready.append
+            # Hot per-SM counters, drained to locals for the duration of
+            # the loop and written back at every exit.  Nothing reads them
+            # mid-drain: the observers (profiler epochs, fill/retire
+            # handlers, maybe_finish_sm) all run as events, which cannot
+            # fire while this callback runs.  The accumulation stays a
+            # sequence of identical += operations, so float results are
+            # bit-equal to the event tier's.
+            next_issue = sm.next_issue_time
+            ri = sm.retired_instructions
+            live = sm.live_accesses
+            while ready:
+                warp = ready[0]
+                cursor = warp.cursor
+                keys = warp.keys
+                nb = warp.next_barrier
+
+                # CTA barrier (__syncthreads): park until siblings arrive.
+                if nb is not None and cursor >= nb and cursor < len(keys):
+                    group = warp.group
+                    warp.next_barrier = nb + group.interval
+                    group.arrived += 1
+                    popleft()
+                    if group.arrived >= group.live:
+                        group.arrived = 0
+                        append(warp)
+                        ready.extend(group.parked)
+                        group.parked.clear()
+                    else:
+                        group.parked.append(warp)
+                    continue
+
+                issue_at = next_issue
+                if stall_until > issue_at:
+                    issue_at = stall_until
+                if issue_at < now:
+                    issue_at = now
+                key = keys[cursor]
+                is_write = warp.writes[cursor]
+                bypass = has_bypass and bypass_lo <= key < bypass_hi
+
+                if not is_write and not bypass:
+                    # Inlined L1Cache.lookup_read →
+                    # SetAssocCache.access_if_hit: commit the hit, touch
+                    # nothing on a miss.
+                    set_idx = key % l1_num_sets
+                    tag_keys = l1_sets[set_idx]
+                    if key in tag_keys:
+                        l1_store.hits += 1
+                        way = tag_keys.index(key)
+                        order = l1_orders[set_idx]
+                        order.remove(way)
+                        order.append(way)
+                        l1.read_hits += 1
+                        # L1 hit: purely SM-local, consume eagerly.
+                        cursor += 1
+                        warp.cursor = cursor
+                        next_issue = issue_at + gap
+                        ri += instrs
+                        live -= 1
+                        popleft()
+                        if cursor < len(keys):
+                            append(warp)
+                        elif warp.group is not None:
+                            warp.group.on_exhaust(ready)
+                        continue
+
+                # NoC-bound access: must be issued at its architectural
+                # time, and must not mutate state before that time arrives.
+                if issue_at > now:
+                    sm.next_issue_time = next_issue
+                    sm.retired_instructions = ri
+                    sm.live_accesses = live
+                    if not sm.wake_scheduled:
+                        sm.wake_scheduled = True
+                        return (issue_at, wake, sm)
+                    return None
+
+                if is_write:
+                    if sm.write_credits <= 0:
+                        sm.next_issue_time = next_issue
+                        sm.retired_instructions = ri
+                        sm.live_accesses = live
+                        return None
+                    sm.write_credits -= 1
+                    # Inlined L1Cache.access(key, True): write-through, no
+                    # write-allocate — a hit only refreshes recency and
+                    # marks the line dirty (scrubbed later via clean()).
+                    l1.writes += 1
+                    set_idx = key % l1_num_sets
+                    tag_keys = l1_sets[set_idx]
+                    if key in tag_keys:
+                        way = tag_keys.index(key)
+                        l1_store.hits += 1
+                        order = l1_orders[set_idx]
+                        order.remove(way)
+                        order.append(way)
+                        l1_dirty[set_idx][way] = True
+                    else:
+                        l1_store.misses += 1
+                    cursor += 1
+                    warp.cursor = cursor
+                    next_issue = issue_at + gap
+                    ri += instrs
+                    live -= 1
+                    sm.issued_writes += 1
+                    flits_f = req_w_f
+                    flits_i = req_w_i
+                    stage_by_sg = write_by_sg
+                else:
+                    # L1 read miss: the warp blocks on the line (in-order
+                    # warp).
+                    entry = mshr_entries.get(key)
+                    if entry is not None:
+                        entry.waiters.append(warp)
+                        mshr.merges += 1
+                        if not bypass:
+                            l1.read_misses += 1
+                        warp.waiting_on = key
+                        cursor += 1
+                        warp.cursor = cursor
+                        next_issue = issue_at + gap
+                        ri += instrs
+                        live -= 1
+                        popleft()
+                        if cursor >= len(keys) and warp.group is not None:
+                            warp.group.on_exhaust(ready)
+                        continue
+                    if len(mshr_entries) >= mshr_capacity:
+                        mshr.stalls += 1
+                        sm.mshr_blocked_at = now
+                        sm.next_issue_time = next_issue
+                        sm.retired_instructions = ri
+                        sm.live_accesses = live
+                        return None
+                    entry = MSHREntry(key, issue_at)
+                    mshr_entries[key] = entry
+                    mshr.allocations += 1
+                    entry.waiters.append(warp)
+                    sm.issued_reads += 1
+                    flits_f = req_r_f
+                    flits_i = req_r_i
+                    stage_by_sg = read_by_sg
+
+                # Inlined acquire + request_network, shared by the read
+                # and write issue paths (they differ only in flit count
+                # and target stage): mode flag → address fold → pooled
+                # request → chained server arithmetic over this SM's
+                # route row.
+                if mode_private[program_id]:
+                    if is_pae:
+                        r = key >> 4
+                        mc = ((r ^ (r >> 7) ^ (r >> 14) ^ (r >> 21))
+                              & 0x7F) % num_mcs
+                    else:
+                        mc = mc_of.get(key)
+                        if mc is None:
+                            mc = mc_of_key(key)
+                            mc_of[key] = mc
+                    slice_local = cluster_id
+                    slice_global = mc * spm + cluster_id
+                elif is_pae:
+                    r = key >> 4
+                    mc = ((r ^ (r >> 7) ^ (r >> 14) ^ (r >> 21))
+                          & 0x7F) % num_mcs
+                    slice_local = ((key ^ (key >> 11) ^ (key >> 22)
+                                    ^ (key >> 33)) & 0x7FF) % map_spm
+                    slice_global = mc * spm + slice_local
+                else:
+                    route = shared_route.get(key)
+                    if route is None:
+                        mc = mc_of_key(key)
+                        slice_local = slice_of_key(key)
+                        route = (mc, slice_local, mc * spm + slice_local)
+                        shared_route[key] = route
+                    mc, slice_local, slice_global = route
+                if pool:
+                    req = pool.pop()
+                    req.sm = sm
+                    req.key = key
+                    req.mc = mc
+                    req.slice_local = slice_local
+                    req.slice_global = slice_global
+                else:
+                    req = Request(sm, key, mc, slice_local, slice_global)
+                if loc_note is not None:
+                    loc_note(key, cluster_id, issue_at)
+                (sm_srv, smr, smr_port, longw, mcr, mcr_port,
+                 distw) = req_routes_sm[slice_global]
+                busy = sm_srv.busy_until
+                t = (busy if busy > issue_at else issue_at) + flits_f
+                sm_srv.busy_until = t
+                sm_srv.busy_cycles += flits_f
+                sm_srv.jobs += 1
+                t = t + SHORT
+                busy = smr_port.busy_until
+                done = (busy if busy > t else t) + flits_f
+                smr_port.busy_until = done
+                smr_port.busy_cycles += flits_f
+                smr_port.jobs += 1
+                smr.buffer_flits += flits_i
+                smr.xbar_flits += flits_i
+                smr.packets += 1
+                t = done + pipeline
+                longw.flits += flits_i
+                t = t + LONG
+                if topo.bypass:
+                    if slice_local != cluster_id:
+                        raise ValueError(
+                            "bypassed MC-router can only reach the "
+                            "requester's own private slice (cluster "
+                            f"{cluster_id}, asked {slice_local})")
+                    arrive = t + BYPASS
+                else:
+                    busy = mcr_port.busy_until
+                    done = (busy if busy > t else t) + flits_f
+                    mcr_port.busy_until = done
+                    mcr_port.busy_cycles += flits_f
+                    mcr_port.jobs += 1
+                    mcr.buffer_flits += flits_i
+                    mcr.xbar_flits += flits_i
+                    mcr.packets += 1
+                    t = done + pipeline
+                    distw.flits += flits_i
+                    arrive = t + SHORT
+                seq = engine._seq
+                engine._seq = seq + 1
+                heappush(heap, (arrive, seq, None,
+                                stage_by_sg[slice_global], req))
+
+                if is_write:
+                    popleft()
+                    if cursor < len(keys):
+                        append(warp)
+                    elif warp.group is not None:
+                        warp.group.on_exhaust(ready)
+                else:
+                    if not bypass:
+                        l1.read_misses += 1
+                    warp.waiting_on = key
+                    cursor += 1
+                    warp.cursor = cursor
+                    next_issue = issue_at + gap
+                    ri += instrs
+                    live -= 1
+                    popleft()
+                    if cursor >= len(keys) and warp.group is not None:
+                        warp.group.on_exhaust(ready)
+            sm.next_issue_time = next_issue
+            sm.retired_instructions = ri
+            sm.live_accesses = live
+            if not live and not mshr_entries:
+                maybe_finish_sm(sm)
+            return None
+
+        def fill(req):
+            key = req.key
+            req.sm = None
+            pool.append(req)
+            waiters = mshr_entries.pop(key).waiters
+            if not sm.l1_bypass_lo <= key < sm.l1_bypass_hi:
+                # Inlined L1 allocate-on-fill (SetAssocCache.insert):
+                # fills are clean; re-inserting a resident line only
+                # touches recency.
+                set_idx = key % l1_num_sets
+                keys = l1_sets[set_idx]
+                order = l1_orders[set_idx]
+                if key in keys:
+                    way = keys.index(key)
+                else:
+                    dirty_bits = l1_dirty[set_idx]
+                    if None in keys:
+                        way = keys.index(None)
+                    else:
+                        way = order[0]
+                        l1_store.evictions += 1
+                        if dirty_bits[way]:
+                            l1_store.writebacks += 1
+                    keys[way] = key
+                    dirty_bits[way] = False
+                order.remove(way)
+                order.append(way)
+            ready_append = sm.ready.append
+            for warp in waiters:
+                if warp.waiting_on == key:
+                    warp.waiting_on = None
+                    if warp.cursor < len(warp.keys):
+                        ready_append(warp)
+            if not sm.wake_scheduled:
+                return wake(sm)
+            if not sm.live_accesses and not mshr_entries:
+                maybe_finish_sm(sm)
+            return None
+
+        def retired(_):
+            """Store-buffer credit return; mirrors
+            GPUSystem._on_write_retired (including the same-instant wake
+            coalescing) but hands a provoked drain back to the engine as a
+            continuation."""
+            sm.write_credits += 1
+            if not sm.wake_scheduled and sm.mshr_blocked_at != engine.now:
+                return wake(sm)
+            return None
+
+        return wake, fill, retired
+
+    for sm_obj in system.sms:
+        (sm_obj._fp_wake, sm_obj._fp_fill,
+         sm_obj._fp_retired) = make_sm_closures(sm_obj)
+
+    # Dispatchers with the event-tier signatures, for the callers outside
+    # the per-request path (kernel-launch batches, diagnostics).
+    def sm_wake(sm):
+        return sm._fp_wake(sm)
+
+    def on_fill(req):
+        return req.sm._fp_fill(req)
+
+    def write_retired(sm):
+        return sm._fp_retired(sm)
+
+    # ------------------------------------------------------------ install
+    original_update_bypass = system.update_bypass
+
+    def update_bypass(now: float) -> None:
+        original_update_bypass(now)
+        tier_flush()
+
+    tier_flush()
+    system._sm_wake = sm_wake
+    system._issue_read = issue_read
+    system._issue_write = issue_write
+    system._read_at_slice = read_at_slice
+    system._fill_at_slice = fill_at_slice
+    system._launch_reply = launch_reply
+    system._write_at_slice = write_at_slice
+    system._on_fill = on_fill
+    system.update_bypass = update_bypass
+    system._tier_flush = tier_flush
+    return True

@@ -403,6 +403,17 @@ class GPUSystem:
             pol.bind(self, scope)
         for pol, _scope in self._policy_bindings:
             pol.setup()
+        # Execution tier: installed last so the fast path specializes on the
+        # post-setup state (policies may have set modes, bypass, or enabled
+        # per-program counters).  Installation swaps the pipeline stage
+        # methods for closed-form closures; results are byte-identical by
+        # contract (see repro.gpu.fastpath), pinned by the tier-parity suite.
+        self.tier = "event"
+        self._tier_flush = None
+        if cfg.tier == "fastpath":
+            from repro.gpu.fastpath import install_fastpath
+            if install_fastpath(self):
+                self.tier = "fastpath"
 
     # ------------------------------------------------------------ assembly
     def _build_programs(self, workload) -> list[_ProgramContext]:
@@ -475,6 +486,8 @@ class GPUSystem:
                              self.cfg.num_sms, self.cfg.sms_per_cluster,
                              sm_whitelist=prog.sm_ids)
         prog.pending_sms = 0
+        wake = self._sm_wake
+        wakes = []
         for sm_id in prog.sm_ids:
             sm = self.sms[sm_id]
             cta_streams = [(kern.ctas[c].keys, kern.ctas[c].writes)
@@ -487,10 +500,12 @@ class GPUSystem:
             if sm.live_accesses:
                 self._sm_kernel_done[sm_id] = False
                 prog.pending_sms += 1
-                self.engine.schedule_call(max(now, sm.next_issue_time),
-                                          self._sm_wake, sm)
+                wakes.append((max(now, sm.next_issue_time), wake, sm))
             else:
                 self._sm_kernel_done[sm_id] = True
+        # One bulk push; seq assignment matches the historical per-SM
+        # schedule_call loop exactly (load_kernel schedules nothing).
+        self.engine.schedule_batch(wakes)
         if prog.controller is not None:
             prog.controller.on_kernel_launch(now)
         if prog.pending_sms == 0:

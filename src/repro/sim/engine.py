@@ -20,6 +20,21 @@ flavours share one FIFO sequence counter:
   ``fn(arg)`` with **no per-event allocation beyond the heap tuple**.  The
   request pipeline in :mod:`repro.gpu.system` schedules one of these per
   queue boundary, so an L1 miss costs zero closures and zero Event objects.
+
+Continuation protocol
+---------------------
+A ``schedule_call`` callback may *return* a ``(time, fn, arg)`` triple
+instead of calling :meth:`schedule_call` as its final action.  The engine
+then assigns the next sequence number and swaps the continuation into the
+heap slot the finished event occupied (``heapreplace``: one sift instead of
+a pop + push).  This is safe because a firing callback can only schedule at
+``time >= now`` with a strictly larger seq, so the entry being dispatched
+remains the heap minimum while it runs — the loop peeks, dispatches, then
+pops or replaces.  Crucially the continuation receives exactly the seq it
+would have drawn from a trailing ``schedule_call``, so the two styles are
+interchangeable without perturbing FIFO order; the fast-path execution tier
+(:mod:`repro.gpu.fastpath`) relies on this to stay byte-identical with the
+event tier while halving heap traffic.
 """
 
 from __future__ import annotations
@@ -135,6 +150,32 @@ class Engine:
         self._seq = seq + 1
         heapq.heappush(self._heap, (time, seq, None, fn, arg))
 
+    def schedule_batch(self, items) -> None:
+        """Schedule many ``(time, fn, arg)`` triples with consecutive FIFO
+        sequence numbers — one bulk push instead of N :meth:`schedule_call`
+        calls (kernel launch wakes every SM through this).
+
+        Args:
+            items: iterable of ``(time, fn, arg)`` triples; every ``time``
+                must be >= ``now``.
+
+        Raises:
+            ValueError: if any ``time`` lies in the past (items before the
+                offender are already queued).
+        """
+        now = self.now
+        seq = self._seq
+        heap = self._heap
+        push = heapq.heappush
+        for time, fn, arg in items:
+            if time < now:
+                self._seq = seq
+                raise ValueError(
+                    f"cannot schedule in the past ({time} < {now})")
+            push(heap, (time, seq, None, fn, arg))
+            seq += 1
+        self._seq = seq
+
     def schedule_after(self, delay: float, fn: Callable[[], None]) -> Event:
         """Schedule ``fn`` to run ``delay`` cycles from now.
 
@@ -221,7 +262,9 @@ class Engine:
                 ev.fired = True
                 ev.fn()
             else:
-                entry[3](entry[4])
+                res = entry[3](entry[4])
+                if res is not None:
+                    self.schedule_call(res[0], res[1], res[2])
             processed += 1
         else:
             if until is not None and until > self.now:
@@ -237,19 +280,37 @@ class Engine:
         """
         heap = self._heap
         pop = heapq.heappop
+        replace = heapq.heapreplace
         processed = 0
         while heap:
-            time, _seq, ev, fn, arg = pop(heap)
+            # Peek-run-replace: the entry being dispatched stays the heap
+            # minimum while its callback runs (anything it schedules lands
+            # at time >= now with a larger seq), so we defer the pop and —
+            # when the callback returns a (time, fn, arg) continuation —
+            # swap it into the same slot with one sift.
+            time, _seq, ev, fn, arg = heap[0]
             if ev is None:
                 self.now = time
-                fn(arg)
+                res = fn(arg)
+                if res is None:
+                    pop(heap)
+                else:
+                    seq = self._seq
+                    self._seq = seq + 1
+                    replace(heap, (res[0], seq, None, res[1], res[2]))
                 processed += 1
             elif not ev.cancelled:
+                # Event handles can be cancelled (even from their own
+                # callback, which may also trigger a compaction), so this
+                # branch pops before dispatching, as a pre-continuation
+                # engine would.
+                pop(heap)
                 ev.fired = True
                 self.now = time
                 ev.fn()
                 processed += 1
             else:
+                pop(heap)
                 self._cancelled -= 1
         self._events_processed += processed
 

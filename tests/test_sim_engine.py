@@ -245,3 +245,102 @@ def test_schedule_after_call_uses_relative_delay():
             5.0, lambda _: times.append(eng.now), None), None)
     eng.run()
     assert times == [15.0]
+
+
+# ------------------------------------------------------- schedule_batch
+def test_schedule_batch_preserves_fifo_with_schedule_call():
+    eng = Engine()
+    order = []
+    eng.schedule_call(5.0, order.append, "call-first")
+    eng.schedule_batch([(5.0, order.append, "batch-0"),
+                        (5.0, order.append, "batch-1"),
+                        (5.0, order.append, "batch-2")])
+    eng.schedule_call(5.0, order.append, "call-last")
+    eng.run()
+    assert order == ["call-first", "batch-0", "batch-1", "batch-2",
+                     "call-last"]
+
+
+def test_schedule_batch_rejects_past_times_keeping_valid_prefix():
+    eng = Engine()
+    eng.schedule_call(1.0, lambda _: None, None)
+    eng.run()  # now == 1.0
+    with pytest.raises(ValueError):
+        eng.schedule_batch([(2.0, lambda _: None, None),
+                            (0.5, lambda _: None, None)])
+    # Documented: items before the offender are already queued, and the
+    # sequence counter was rolled back so FIFO stays consistent.
+    assert eng.pending == 1
+    eng.run()
+    assert eng.now == 2.0
+
+
+# -------------------------------------------------- continuation protocol
+def test_callback_continuation_fires_like_a_scheduled_call():
+    eng = Engine()
+    order = []
+
+    def first(arg):
+        order.append(("first", arg, eng.now))
+        return (3.0, lambda a: order.append(("follow", a, eng.now)), 42)
+
+    eng.schedule_call(1.0, first, "x")
+    eng.run()
+    assert order == [("first", "x", 1.0), ("follow", 42, 3.0)]
+    assert eng.now == 3.0
+    assert eng.events_processed == 2
+
+
+def _followup_order(style):
+    """Two callbacks fire at t=1; 'a' requests a follow-up at t=2 either by
+    returning a continuation or by an explicit trailing schedule_call."""
+    eng = Engine()
+    order = []
+
+    def a(_):
+        order.append("a")
+        if style == "continuation":
+            return (2.0, order.append, "a-follow")
+        eng.schedule_call(2.0, order.append, "a-follow")
+        return None
+
+    def b(_):
+        order.append("b")
+        eng.schedule_call(2.0, order.append, "b-follow")
+
+    eng.schedule_call(1.0, a, None)
+    eng.schedule_call(1.0, b, None)
+    eng.run()
+    return order
+
+
+def test_continuation_is_fifo_interchangeable_with_schedule_call():
+    # The engine hands a continuation exactly the sequence number a
+    # trailing schedule_call would have drawn, so the two styles produce
+    # identical firing orders — the fast-path tier's byte-identity
+    # contract rests on this.
+    assert (_followup_order("continuation")
+            == _followup_order("call")
+            == ["a", "b", "a-follow", "b-follow"])
+
+
+def test_continuation_respects_horizon_and_budget():
+    def build():
+        eng = Engine()
+        order = []
+        eng.schedule_call(
+            1.0, lambda _: order.append("first") or
+            (2.0, order.append, "follow"), None)
+        return eng, order
+
+    eng, order = build()
+    eng.run(max_events=1)
+    assert order == ["first"] and eng.pending == 1
+    eng.run()
+    assert order == ["first", "follow"]
+
+    eng, order = build()
+    eng.run(until=1.5)
+    assert order == ["first"] and eng.now == 1.5
+    eng.run()
+    assert order == ["first", "follow"] and eng.now == 2.0

@@ -98,3 +98,45 @@ def test_latency_link_adds_propagation_delay():
     # Second message queues behind the first at the serialization point.
     assert link.traverse(0.0, 4) == 16.0
     assert link.jobs == 2
+
+
+# ------------------------------------------------- hot-path shape pins
+def test_rejected_enqueue_mutates_nothing():
+    # The validity guard precedes every state update, so a rejected job
+    # cannot leave the server half-claimed.
+    s = BandwidthServer()
+    s.enqueue(0.0, 2.0)
+    snapshot = (s.busy_until, s.busy_cycles, s.jobs)
+    with pytest.raises(ValueError):
+        s.enqueue(1.0, -0.5)
+    assert (s.busy_until, s.busy_cycles, s.jobs) == snapshot
+
+
+def test_enqueue_carries_no_window_bookkeeping():
+    """Structural pin for the hot path: window statistics are derived
+    lazily from ``busy_cycles`` snapshots (``reset_window`` /
+    ``window_utilization``), never accumulated inside ``enqueue``.  The
+    fast-path tier inlines this exact body into its stage handlers, so a
+    reintroduced per-job window update would silently fork the two
+    tiers' stat semantics as well as slow the hot path."""
+    code = BandwidthServer.enqueue.__code__
+    touched = set(code.co_names)
+    assert "_window_mark" not in touched
+    assert "_window_start" not in touched
+
+
+def test_enqueue_microbench_floor():
+    """Throughput smoke: ~40x headroom below the slowest observed box so
+    it only trips on a pathological slow path (e.g. per-job window
+    bookkeeping creeping back in), never on CI noise."""
+    import time
+
+    s = BandwidthServer()
+    n = 100_000
+    enqueue = s.enqueue
+    t0 = time.perf_counter()
+    for i in range(n):
+        enqueue(float(i), 1.5)
+    wall = time.perf_counter() - t0
+    assert s.jobs == n
+    assert wall < 2.0, f"{n} enqueues took {wall:.2f}s"

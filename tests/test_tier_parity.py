@@ -1,0 +1,104 @@
+"""Tier-parity suite: the fast-path tier must change nothing but speed.
+
+The fast-path execution tier (:mod:`repro.gpu.fastpath`) recomputes the
+event tier's deterministic round trips as closed-form arithmetic, but its
+contract is strict byte-identity: the same ``RunResult.to_dict()`` for the
+same spec, down to float bit patterns, because campaign cache keys elide
+the tier (``GPUConfig.to_dict``) and a cached event-tier result must be
+interchangeable with a fresh fast-path run.
+
+Three layers of pinning:
+
+* every golden capture re-executed under ``tier="fastpath"`` must equal
+  the committed event-tier golden byte-for-byte (this includes the
+  two-program pair and the adaptive policy's reconfiguration epochs);
+* a *heterogeneous* mix whose interval policies actually transition —
+  mode flips force a tier flush mid-run, so this pins the
+  stateful-boundary handling, not just the steady state;
+* an installation guard, so the suite can never pass vacuously because
+  the fast path silently declined to install.
+"""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.experiments.campaign import RunSpec, execute_spec
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data",
+                           "golden_runresults.json")
+
+with open(GOLDEN_PATH, encoding="utf-8") as _fh:
+    GOLDEN = json.load(_fh)
+
+TINY = 0.02
+
+
+def _fastpath_spec(spec: RunSpec) -> RunSpec:
+    return dataclasses.replace(spec, cfg=spec.cfg.replace(tier="fastpath"))
+
+
+def test_fastpath_installs_on_experiment_config():
+    """Guard against vacuous parity: the baseline experiment topology must
+    actually take the fast path (if a refactor makes install_fastpath
+    decline, every test below would silently compare event vs event)."""
+    from repro.experiments.runner import experiment_config
+    from repro.gpu.system import GPUSystem
+    from repro.workloads.catalog import build
+
+    cfg = experiment_config().replace(tier="fastpath")
+    workload = build("VA", total_accesses=2_000, num_ctas=32, max_kernels=1)
+    system = GPUSystem(cfg, workload, policy="shared")
+    assert system.tier == "fastpath"
+    system.run()
+
+
+def test_event_tier_is_the_default_and_keys_predate_the_tier():
+    """Pre-tier serialized specs must keep their historical content keys:
+    the default tier is elided from ``GPUConfig.to_dict``, and round-trips
+    preserve an explicit fastpath request."""
+    key, entry = next(iter(sorted(GOLDEN.items())))
+    spec = RunSpec.from_dict(entry["spec"])
+    assert spec.cfg.tier == "event"
+    assert "tier" not in spec.cfg.to_dict()
+    assert spec.cache_key() == key
+    fast = _fastpath_spec(spec)
+    assert RunSpec.from_dict(fast.to_dict()).cfg.tier == "fastpath"
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN),
+                         ids=[GOLDEN[k]["label"] for k in sorted(GOLDEN)])
+def test_fastpath_reproduces_golden_captures(key):
+    entry = GOLDEN[key]
+    spec = _fastpath_spec(RunSpec.from_dict(entry["spec"]))
+    result = execute_spec(spec).to_dict()
+    assert result == entry["result"], (
+        f"{entry['label']}: fastpath tier diverged from the event-tier "
+        f"golden capture")
+
+
+def _hetero_spec(tier: str) -> RunSpec:
+    """Two programs, two different interval policies, parameters chosen so
+    both actually transition at smoke scale (asserted below)."""
+    spec = RunSpec.pair("RN", "SN", "miss-rate-threshold",
+                        scale=TINY,
+                        policy_params={"interval": 800, "min_samples": 64},
+                        mode_b="hysteresis",
+                        policy_params_b={"interval": 800, "dwell": 1,
+                                         "min_samples": 64})
+    return _fastpath_spec(spec) if tier == "fastpath" else spec
+
+
+def test_fastpath_matches_event_on_transitioning_hetero_mix():
+    """Mode transitions flush the tier mid-run (per-program private/shared
+    routing flips under the fast path's feet); a heterogeneous mix where
+    *both* interval controllers fire pins that boundary."""
+    event = execute_spec(_hetero_spec("event"))
+    fast = execute_spec(_hetero_spec("fastpath"))
+    assert event.transitions >= 2, (
+        "parity run went steady-state: pick parameters that transition, "
+        "or the flush path is untested")
+    assert all(p.transitions >= 1 for p in event.programs)
+    assert fast.to_dict() == event.to_dict()

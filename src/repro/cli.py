@@ -15,6 +15,10 @@ Commands
 ``sweep``      declarative campaign sweep over benchmarks x policies x
                config overrides; ``--pairs A+B [--policy-b NAME]``
                sweeps two-program mixes instead of singles
+``serve``      run the campaign job server: an async HTTP/JSON job API
+               (``POST /jobs`` → poll → ``GET /results/<key>``) sharding
+               queued specs over worker processes, content-key
+               idempotent, sharing the on-disk result store
 ``policy``     ``policy list`` / ``policy show NAME``: the LLC-policy
                registry with parameter schemas
 ``tables``     print Tables 1 and 2
@@ -42,7 +46,7 @@ import sys
 
 from repro.config import PolicyConfig
 from repro.experiments import FIGURE_MODULES, figure_module, figure_sort_key
-from repro.experiments.campaign import Campaign, RunSpec
+from repro.experiments.campaign import Campaign, RunSpec, spec_from_mix
 from repro.experiments.runner import experiment_config, print_rows, \
     scaled_policy_params
 from repro.policy import available_policies, canonical_policy_name, \
@@ -170,24 +174,20 @@ def _run_mix(args: argparse.Namespace, campaign: Campaign,
              default_policy: PolicyConfig) -> int:
     """``repro run --mix A:policy+B:policy``: a per-program-policy
     scenario through the campaign."""
-    entries = [(abbr, _scaled_policy(policy if policy is not None
-                                     else default_policy, args.scale))
-               for abbr, policy in args.mix]
-    if len(entries) == 1:
-        (abbr, policy), = entries
-        spec = RunSpec.single(abbr, policy, scale=args.scale)
-    else:
-        (abbr_a, pol_a), (abbr_b, pol_b) = entries
-        spec = RunSpec.pair(abbr_a, abbr_b, pol_a, scale=args.scale,
-                            mode_b=pol_b)
+    # One conversion shared with the service wire format: the spec (and
+    # therefore the content key) of a mix is the same no matter which
+    # surface declared it.
+    spec = spec_from_mix(args.mix, scale=args.scale,
+                         default_policy=default_policy)
+    entries = spec.program_entries()
     res = campaign.result(spec)
     print(f"{res.workload} [{res.mode}]: IPC {res.ipc:.2f} over "
           f"{res.cycles:.0f} cycles")
     print(f"  LLC: miss rate {res.llc_miss_rate:.3f}, response rate "
           f"{res.llc_response_rate:.2f} flits/cycle")
     if res.programs:
-        for (abbr, policy), stats in zip(entries, res.programs):
-            line = f"  {stats.name} [{stats.policy or policy.spec()}]: " \
+        for (abbr, policy_spec), stats in zip(entries, res.programs):
+            line = f"  {stats.name} [{stats.policy or policy_spec}]: " \
                    f"IPC {stats.ipc:.2f}"
             if stats.policy:
                 # Per-program transition counts exist only for
@@ -199,8 +199,8 @@ def _run_mix(args: argparse.Namespace, campaign: Campaign,
             print(line)
     else:
         # One-entry mix: a single-program run, reported as one program.
-        (abbr, policy), = entries
-        print(f"  {abbr} [{policy.spec()}]: IPC {res.ipc:.2f}, "
+        (abbr, policy_spec), = entries
+        print(f"  {abbr} [{policy_spec}]: IPC {res.ipc:.2f}, "
               f"{res.transitions} transitions")
     if res.transitions or res.time_in_private:
         print(f"  policy: {res.transitions} transitions, "
@@ -477,6 +477,39 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.config import ServiceConfig
+    from repro.service.server import JobServer
+
+    try:
+        cfg = ServiceConfig(host=args.host, port=args.port,
+                            workers=args.workers, cache_dir=args.cache_dir,
+                            quota=args.quota, max_queue=args.max_queue)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    server = JobServer(cfg)
+
+    async def _serve() -> None:
+        await server.start()
+        store = cfg.cache_dir or "in-memory"
+        print(f"[serve] campaign job server on "
+              f"http://{cfg.host}:{server.port} — {cfg.workers} workers, "
+              f"results {store}", flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("[serve] stopped")
+    return 0
+
+
 def _cmd_policy(args: argparse.Namespace) -> int:
     registry = available_policies()
     if args.action == "list":
@@ -683,6 +716,28 @@ def build_parser() -> argparse.ArgumentParser:
                            "(e.g. --set noc.channel_bytes=16); repeatable")
     _add_campaign_flags(p_sw)
     p_sw.set_defaults(fn=_cmd_sweep)
+
+    p_srv = sub.add_parser("serve", help="run the campaign job server "
+                                         "(async HTTP/JSON job API)")
+    p_srv.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    p_srv.add_argument("--port", type=int, default=8642, metavar="P",
+                       help="bind port; 0 picks an ephemeral port "
+                            "(default: 8642)")
+    p_srv.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="worker processes sharding queued specs "
+                            "(default: 2)")
+    p_srv.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="shared on-disk result store (content-keyed "
+                            "JSON, same layout as campaign --cache-dir); "
+                            "results survive restarts")
+    p_srv.add_argument("--quota", type=int, default=0, metavar="N",
+                       help="max in-flight jobs per client, 429 past it "
+                            "(default: 0 = unlimited)")
+    p_srv.add_argument("--max-queue", type=int, default=1024, metavar="N",
+                       help="max queued jobs overall, 503 past it "
+                            "(default: 1024)")
+    p_srv.set_defaults(fn=_cmd_serve)
 
     p_pol = sub.add_parser("policy", help="inspect the LLC-policy registry")
     pol_sub = p_pol.add_subparsers(dest="action", required=True)

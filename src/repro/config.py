@@ -204,6 +204,41 @@ class PolicyConfig(_SerializableConfig):
 
 
 @dataclass(frozen=True)
+class ServiceConfig(_SerializableConfig):
+    """Configuration of the campaign job server (:mod:`repro.service`).
+
+    ``workers`` is the process-pool width queued specs shard across;
+    ``quota`` caps each client's in-flight (queued + running) jobs —
+    submissions past it are rejected with HTTP 429 (0 disables);
+    ``max_queue`` bounds the whole queue the same way with HTTP 503.
+    ``cache_dir`` is the shared content-keyed
+    :class:`~repro.experiments.store.ResultStore` directory — results
+    survive server restarts and are interchangeable with a local
+    ``--cache-dir`` campaign's (None keeps results in memory only).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8642
+    workers: int = 2
+    cache_dir: Optional[str] = None
+    quota: int = 0
+    max_queue: int = 1024
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.quota < 0:
+            raise ValueError(f"quota must be >= 0, got {self.quota}")
+        if self.max_queue < 1:
+            raise ValueError(
+                f"max_queue must be >= 1, got {self.max_queue}")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServiceConfig":
+        return cls(**_fields_from_dict(cls, data))
+
+
+@dataclass(frozen=True)
 class GPUConfig(_SerializableConfig):
     """Baseline GPU architecture from paper Table 1.
 

@@ -28,9 +28,6 @@ Usage::
 
 from __future__ import annotations
 
-import json
-import os
-import tempfile
 from dataclasses import dataclass
 from multiprocessing import get_context
 from typing import Iterable, Optional, Sequence
@@ -260,6 +257,59 @@ def _split_policy(mode, policy_params: Optional[dict]
     return cfg.name, merged
 
 
+def spec_from_mix(mix, scale: float = 1.0, default_policy=None,
+                  cfg: Optional[GPUConfig] = None,
+                  max_kernels: Optional[int] = None) -> RunSpec:
+    """Build the :class:`RunSpec` for a mix declaration.
+
+    ``mix`` is either the ``BENCH[:POLICY[:k=v,...]]+...`` grammar text
+    or the already-parsed ``(benchmark, PolicyConfig | None)`` entries
+    from :func:`repro.scenario.parse_mix`.  This is the one conversion
+    both the CLI (``run --mix``) and the job server's wire format go
+    through, so a mix submitted over HTTP hashes to exactly the content
+    key the same mix run locally would.
+
+    Entries without a policy inherit ``default_policy`` (default:
+    ``adaptive``, the CLI's default); interval policies get their
+    scale-derived window parameters
+    (:func:`~repro.experiments.runner.scaled_policy_params`), explicit
+    parameters always winning — again matching the CLI.
+
+    Raises ``ValueError`` for malformed grammar, unknown benchmarks,
+    unknown policies, or bad policy parameters.
+    """
+    from repro.experiments.runner import scaled_policy_params
+    from repro.scenario import parse_mix
+    from repro.workloads.catalog import BENCHMARKS
+
+    entries = parse_mix(mix) if isinstance(mix, str) else list(mix)
+    if not 1 <= len(entries) <= 2:
+        raise ValueError(f"a mix runs one or two programs, "
+                         f"got {len(entries)}")
+    if default_policy is None:
+        default_policy = PolicyConfig.of("adaptive")
+    elif isinstance(default_policy, str):
+        default_policy = PolicyConfig.from_spec(default_policy)
+    resolved = []
+    for abbr, policy in entries:
+        if abbr not in BENCHMARKS:
+            raise ValueError(f"unknown benchmark {abbr!r} in mix "
+                             f"(see `repro catalog`)")
+        policy = policy if policy is not None else default_policy
+        # Name/parameter validation happens inside the canonicalization.
+        scaled = PolicyConfig.of(policy.name,
+                                 scaled_policy_params(policy.name, scale,
+                                                      policy.params_dict()))
+        resolved.append((abbr, scaled))
+    kernels = {} if max_kernels is None else {"max_kernels": max_kernels}
+    if len(resolved) == 1:
+        (abbr, policy), = resolved
+        return RunSpec.single(abbr, policy, cfg, scale=scale, **kernels)
+    (abbr_a, pol_a), (abbr_b, pol_b) = resolved
+    return RunSpec.pair(abbr_a, abbr_b, pol_a, cfg, scale=scale,
+                        mode_b=pol_b, **kernels)
+
+
 def execute_spec(spec: RunSpec,
                  probes: Optional[dict] = None) -> RunResult:
     """Run one spec to completion (no caching — the campaign's worker).
@@ -378,25 +428,30 @@ class Campaign:
 
     Args:
         jobs: worker-pool width (1 = run inline, no pool).
-        cache_dir: enables the on-disk JSON cache; one file per content
-            key, written atomically, so concurrent campaigns can share a
-            directory.
+        cache_dir: enables the on-disk JSON cache (a
+            :class:`~repro.experiments.store.ResultStore`); records are
+            written atomically and corrupt entries are quarantined, so
+            concurrent campaigns — and the :mod:`repro.service` job
+            server — can share a directory.
 
     Attributes:
         executed: simulations actually run by this instance.
         cache_hits: results served from the on-disk cache.
         memo_hits: repeat requests served from process memory.
+        store: the on-disk :class:`~repro.experiments.store.ResultStore`
+            (persistence disabled when ``cache_dir`` is None).
     """
 
     def __init__(self, jobs: int = 1, cache_dir: Optional[str] = None):
+        from repro.experiments.store import ResultStore
+
         self.jobs = max(1, int(jobs))
         self.cache_dir = cache_dir
         self.executed = 0
         self.cache_hits = 0
         self.memo_hits = 0
         self._memo: dict[str, RunResult] = {}
-        if cache_dir:
-            os.makedirs(cache_dir, exist_ok=True)
+        self.store = ResultStore(cache_dir, version=CACHE_VERSION)
 
     # -------------------------------------------------------------- query
     def result(self, spec: RunSpec) -> RunResult:
@@ -483,36 +538,8 @@ class Campaign:
         self._memo[key] = RunResult.from_dict(result_dict)
 
     # ------------------------------------------------------------ storage
-    def _path(self, key: str) -> Optional[str]:
-        if not self.cache_dir:
-            return None
-        return os.path.join(self.cache_dir, f"{key}.json")
-
     def _load(self, key: str) -> Optional[RunResult]:
-        path = self._path(key)
-        if path is None or not os.path.exists(path):
-            return None
-        try:
-            with open(path, encoding="utf-8") as fh:
-                record = json.load(fh)
-            if record.get("version") != CACHE_VERSION:
-                return None
-            return RunResult.from_dict(record["result"])
-        except (OSError, ValueError, KeyError, TypeError):
-            return None  # corrupt or stale entry: fall through to re-run
+        return self.store.load(key)
 
     def _store(self, key: str, spec: RunSpec, result_dict: dict) -> None:
-        path = self._path(key)
-        if path is None:
-            return
-        record = {"version": CACHE_VERSION, "spec": spec.to_dict(),
-                  "result": result_dict}
-        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(record, fh)
-            os.replace(tmp, path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+        self.store.store(key, spec.to_dict(), result_dict)

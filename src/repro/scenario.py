@@ -137,3 +137,45 @@ def parse_mix(text: str) -> list[tuple[str, Optional[PolicyConfig]]]:
     if any(not tok for tok in entries):
         raise ValueError(f"mix {text!r} has an empty program entry")
     return [parse_mix_entry(tok) for tok in entries]
+
+
+def format_mix_entry(bench: str,
+                     policy: Optional[PolicyConfig] = None) -> str:
+    """Render one mix entry canonically: the inverse of
+    :func:`parse_mix_entry`.
+
+    A ``None`` policy renders as the bare benchmark (the entry inherits
+    the run's default), matching what :func:`parse_mix_entry` returns
+    for it.  The rendered text must survive a ``+``-split re-parse, so
+    policy values containing ``+`` (scientific notation like ``1e+3``)
+    are rejected here, symmetrically with the parser's documented
+    restriction.
+    """
+    if not bench or not bench.strip():
+        raise ValueError("mix entry has no benchmark")
+    if policy is None:
+        return bench
+    spec = policy.spec()
+    if "+" in spec:
+        raise ValueError(
+            f"policy spec {spec!r} contains '+', which the mix grammar "
+            f"reserves as the program separator (spell values without "
+            f"scientific notation)")
+    return f"{bench}:{spec}"
+
+
+def format_mix(entries) -> str:
+    """Render ``(benchmark, PolicyConfig | None)`` pairs as mix text.
+
+    The canonical inverse of :func:`parse_mix`:
+    ``parse_mix(format_mix(entries)) == entries`` for every well-formed
+    entry list (parameter ordering is normalized by
+    :class:`~repro.config.PolicyConfig` itself, so a round trip through
+    the text form is idempotent).  This *is* the service wire format for
+    mixes, so both directions live next to each other.
+    """
+    entries = list(entries)
+    if not entries:
+        raise ValueError("a mix needs at least one program entry")
+    return "+".join(format_mix_entry(bench, policy)
+                    for bench, policy in entries)

@@ -1,0 +1,38 @@
+"""Simulation-as-a-service: the async campaign job server.
+
+The :class:`~repro.experiments.campaign.Campaign` layer dedups, caches
+and fans simulations out over processes — but only inside one CLI
+invocation.  This package wraps that execute/cache core in a
+long-running service with an HTTP/JSON job API, layered like the
+exemplar client/service/core split:
+
+* :mod:`repro.service.jobs` — **core**: the pure job-orchestration state
+  machine (content-key coalescing, priority queue, per-client quotas,
+  lifecycle timing).  No I/O, no asyncio: everything unit-testable.
+* :mod:`repro.service.workers` — the process-pool boundary: the
+  module-level worker function that executes one spec, exactly the
+  campaign's executor.
+* :mod:`repro.service.server` — **service**: the asyncio HTTP server
+  binding the core to the wire (``POST /jobs``, ``GET /jobs/<id>``,
+  ``GET /results/<key>``, ``GET /healthz``, ``GET /stats``) and to the
+  shared on-disk :class:`~repro.experiments.store.ResultStore`.
+* :mod:`repro.service.client` — **client**: a thin synchronous
+  ``http.client`` wrapper (submit / poll / fetch / wait) used by the
+  tests, the CI smoke job, and future campaign-steering work.
+
+The idempotency contract: a job's id *is* its
+:meth:`~repro.experiments.campaign.RunSpec.cache_key`.  Duplicate
+submissions from any client coalesce onto the same job; a key whose
+result is already in the store completes instantly; and the payload
+served by ``GET /results/<key>`` is byte-identical to what a direct
+local run of the same spec returns — the simulator is deterministic and
+the key is a content hash, so the service can never serve a "different"
+result for the same spec.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import Job, JobManager, JobRejected
+from repro.service.server import JobServer
+
+__all__ = ["Job", "JobManager", "JobRejected", "JobServer",
+           "ServiceClient", "ServiceError"]

@@ -1,0 +1,244 @@
+"""The job server's core: a pure, synchronous orchestration state machine.
+
+Everything here is plain data structures and plain calls — no sockets,
+no asyncio, no processes — so the coalescing/priority/quota logic is
+unit-testable in microseconds and the HTTP layer stays a thin adapter.
+The :class:`~repro.service.server.JobServer` drives one
+:class:`JobManager` from its event loop; the stress tests drive another
+from threads through the HTTP API and observe the same invariants.
+
+Lifecycle::
+
+    submit() ──► queued ──next_job()──► running ──finish()──► done
+        │                                   └──fail()──────► error
+        └── (result already stored) ─────────────────────────► done
+
+Invariants the tests pin:
+
+* **Exactly-once per content key.**  A job's id is its spec's content
+  key.  ``submit`` of a key that is queued/running/done never creates a
+  second execution — it coalesces (and may raise the queued job's
+  priority).  Only an *error* job re-arms on resubmission.
+* **Priority order.**  ``next_job`` pops the highest ``priority`` first
+  (ties: submission order).  Queue positions reported to clients follow
+  the same order.
+* **Quota accounting.**  A client's in-flight charge counts the jobs it
+  *created* that are still queued/running; coalesced joins are free
+  (the work is already paid for) and tokens release on completion.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+#: Job lifecycle states, as they appear on the wire.
+QUEUED, RUNNING, DONE, ERROR = "queued", "running", "done", "error"
+
+
+class JobRejected(ValueError):
+    """A submission the server refuses, with the HTTP status to say so
+    (429 for quota exhaustion, 503 for a full queue)."""
+
+    def __init__(self, message: str, status: int):
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Job:
+    """One content-keyed simulation request and its lifecycle record."""
+
+    key: str
+    spec_dict: dict
+    label: str
+    priority: int = 0
+    client: str = "anonymous"
+    state: str = QUEUED
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    error: Optional[str] = None
+    #: Result payload (``RunResult.to_dict()``); populated on finish or
+    #: when the submission hit the store.
+    result: Optional[dict] = None
+    #: True when the result came from the store instead of an execution.
+    cache_hit: bool = False
+    #: Clients whose submissions coalesced onto this job (creator first).
+    clients: list = field(default_factory=list)
+    #: Admission order, the priority tie-breaker (monotonic per manager).
+    seq: int = 0
+
+    def status_dict(self, position: Optional[int] = None) -> dict:
+        """The ``GET /jobs/<id>`` payload."""
+        now = time.time()
+        out = {
+            "id": self.key,
+            "label": self.label,
+            "state": self.state,
+            "priority": self.priority,
+            "cache_hit": self.cache_hit,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "wall_s": None,
+            "error": self.error,
+        }
+        if self.state == QUEUED:
+            out["position"] = position
+            out["waiting_s"] = now - self.submitted_at
+        elif self.started_at is not None:
+            end = self.finished_at if self.finished_at is not None else now
+            out["wall_s"] = end - self.started_at
+        return out
+
+
+class JobManager:
+    """Content-key-coalescing priority queue with per-client quotas.
+
+    Args:
+        quota: max in-flight (queued + running) jobs per creating
+            client; 0 disables the check.
+        max_queue: max queued jobs overall.
+        lookup_result: optional ``key -> result_dict | None`` callable
+            (the store probe).  When it returns a payload at submit
+            time, the job is born ``done`` as a cache hit.
+
+    Not thread-safe by itself: the server confines it to the event
+    loop; direct users (tests) drive it from one thread or lock around
+    it.
+    """
+
+    def __init__(self, quota: int = 0, max_queue: int = 1024,
+                 lookup_result: Optional[Callable] = None):
+        self.quota = quota
+        self.max_queue = max_queue
+        self.lookup_result = lookup_result
+        self.jobs: dict[str, Job] = {}
+        self._heap: list = []          # (-priority, seq, key); lazy entries
+        self._seq = itertools.count()
+        self.submitted = 0
+        self.coalesced = 0
+        self.cache_hits = 0
+        self.executed = 0
+        self.errors = 0
+
+    # ------------------------------------------------------------- submit
+    def submit(self, key: str, spec_dict: dict, label: str,
+               priority: int = 0, client: str = "anonymous") -> Job:
+        """Register a submission; returns the (possibly pre-existing) job.
+
+        Raises :class:`JobRejected` on quota/queue exhaustion.  Never
+        schedules a duplicate execution for a live key.
+        """
+        self.submitted += 1
+        job = self.jobs.get(key)
+        if job is not None and job.state != ERROR:
+            self.coalesced += 1
+            if client not in job.clients:
+                job.clients.append(client)
+            if job.state == QUEUED and priority > job.priority:
+                # The queue honors the best priority any submitter asked
+                # for: re-push and let stale heap entries skip lazily.
+                job.priority = priority
+                heapq.heappush(self._heap, (-priority, job.seq, key))
+            return job
+        # A fresh key (or an errored job being retried) pays the
+        # admission checks before anything is enqueued.
+        queued = sum(1 for j in self.jobs.values() if j.state == QUEUED)
+        if queued >= self.max_queue:
+            raise JobRejected(
+                f"queue is full ({self.max_queue} jobs)", 503)
+        if self.quota:
+            inflight = sum(1 for j in self.jobs.values()
+                           if j.state in (QUEUED, RUNNING)
+                           and j.clients and j.clients[0] == client)
+            if inflight >= self.quota:
+                raise JobRejected(
+                    f"client {client!r} has {inflight} jobs in flight "
+                    f"(quota {self.quota})", 429)
+        job = Job(key=key, spec_dict=spec_dict, label=label,
+                  priority=priority, client=client,
+                  submitted_at=time.time(), clients=[client],
+                  seq=next(self._seq))
+        self.jobs[key] = job
+        cached = self.lookup_result(key) if self.lookup_result else None
+        if cached is not None:
+            job.state = DONE
+            job.result = cached
+            job.cache_hit = True
+            job.finished_at = job.submitted_at
+            self.cache_hits += 1
+            return job
+        heapq.heappush(self._heap, (-job.priority, job.seq, key))
+        return job
+
+    # ----------------------------------------------------------- dispatch
+    def next_job(self) -> Optional[Job]:
+        """Pop the best queued job and mark it running (None when idle)."""
+        while self._heap:
+            neg_priority, _, key = heapq.heappop(self._heap)
+            job = self.jobs.get(key)
+            if job is None or job.state != QUEUED:
+                continue  # stale entry (re-push, cancellation, done)
+            if -neg_priority != job.priority:
+                continue  # superseded by a priority bump's re-push
+            job.state = RUNNING
+            job.started_at = time.time()
+            return job
+        return None
+
+    def finish(self, key: str, result_dict: dict) -> Job:
+        """Transition a running job to ``done`` with its payload."""
+        job = self.jobs[key]
+        job.state = DONE
+        job.result = result_dict
+        job.finished_at = time.time()
+        self.executed += 1
+        return job
+
+    def fail(self, key: str, message: str) -> Job:
+        """Transition a running job to ``error``."""
+        job = self.jobs[key]
+        job.state = ERROR
+        job.error = message
+        job.finished_at = time.time()
+        self.errors += 1
+        return job
+
+    # ------------------------------------------------------------ queries
+    def get(self, key: str) -> Optional[Job]:
+        return self.jobs.get(key)
+
+    def position(self, key: str) -> Optional[int]:
+        """1-based queue position of a queued job, in dispatch order."""
+        job = self.jobs.get(key)
+        if job is None or job.state != QUEUED:
+            return None
+        ahead = [j for j in self.jobs.values() if j.state == QUEUED]
+        ahead.sort(key=lambda j: (-j.priority, j.seq))
+        return ahead.index(job) + 1
+
+    def counts(self) -> dict:
+        """Jobs by state (the ``GET /stats`` queue block)."""
+        out = {QUEUED: 0, RUNNING: 0, DONE: 0, ERROR: 0}
+        for job in self.jobs.values():
+            out[job.state] += 1
+        return out
+
+    def stats(self) -> dict:
+        served = self.cache_hits + self.executed
+        return {
+            "submitted": self.submitted,
+            "coalesced": self.coalesced,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "errors": self.errors,
+            "states": self.counts(),
+            # Of the jobs that reached a result, how many never paid a
+            # simulation.  Coalesced submissions are not counted twice.
+            "cache_hit_rate": (self.cache_hits / served) if served else 0.0,
+        }

@@ -1,0 +1,307 @@
+"""The asyncio campaign job server: HTTP/JSON over ``asyncio.start_server``.
+
+Stdlib only: a hand-rolled HTTP/1.1 exchange (request line, headers,
+``Content-Length`` body; one request per connection, ``Connection:
+close``) — deliberately minimal, because the wire format is five JSON
+routes, not a web framework:
+
+====================  =====================================================
+``POST /jobs``        submit a ``{"spec": RunSpec.to_dict()}`` or
+                      ``{"mix": "A:pol+B:pol", "scale": ...}`` payload;
+                      returns the job id (= the spec's content key)
+``GET /jobs/<id>``    job status: queued/running/done/error, queue
+                      position, timing
+``GET /results/<k>``  the finished ``RunResult.to_dict()`` payload, verbatim
+``GET /healthz``      liveness
+``GET /stats``        jobs served, cache-hit rate, worker utilization
+====================  =====================================================
+
+All orchestration state lives in a :class:`~repro.service.jobs.
+JobManager` confined to the event loop (route handlers and executor
+completions both run there, so the core needs no locks).  Queued specs
+shard across a ``ProcessPoolExecutor`` running the campaign's executor
+(:mod:`repro.service.workers`); results are published to the shared
+:class:`~repro.experiments.store.ResultStore`, so they survive restarts
+and a warm store answers repeat submissions without simulating.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Optional
+
+from repro.config import ServiceConfig
+from repro.experiments.campaign import RunSpec, spec_from_mix
+from repro.experiments.store import ResultStore
+from repro.service.jobs import DONE, ERROR, Job, JobManager, JobRejected
+from repro.service.workers import execute_job
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 413: "Payload Too Large",
+            429: "Too Many Requests", 500: "Internal Server Error",
+            503: "Service Unavailable"}
+
+#: Submission bodies past this size are rejected (a RunSpec payload is
+#: a few KB; anything megabytes-deep is not one).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class JobServer:
+    """The long-running campaign service.
+
+    Usage::
+
+        server = JobServer(ServiceConfig(port=0, cache_dir=".repro-cache"))
+        await server.start()          # server.port is now the bound port
+        ...
+        await server.stop()
+
+    or, blocking: ``asyncio.run(server.run())`` (the ``repro serve``
+    CLI verb).
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+        self.store = ResultStore(self.config.cache_dir)
+        self.manager = JobManager(quota=self.config.quota,
+                                  max_queue=self.config.max_queue,
+                                  lookup_result=self._lookup_cached)
+        self.port: Optional[int] = None
+        self.started_at: Optional[float] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._kick: Optional[asyncio.Event] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._busy = 0
+
+    # ---------------------------------------------------------- lifecycle
+    async def start(self) -> None:
+        """Bind the socket and start the dispatcher (non-blocking)."""
+        self._pool = ProcessPoolExecutor(max_workers=self.config.workers)
+        self._kick = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.started_at = time.time()
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+
+    async def serve_forever(self) -> None:
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def run(self) -> None:
+        """Start and serve until cancelled (the CLI entry point)."""
+        await self.start()
+        try:
+            await self.serve_forever()
+        finally:
+            await self.stop()
+
+    async def stop(self) -> None:
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    # ----------------------------------------------------------- dispatch
+    def _lookup_cached(self, key: str) -> Optional[dict]:
+        """Store probe for submit-time cache hits.
+
+        The load→``to_dict`` round trip is the identity for valid
+        records (the campaign relies on the same property), so a cached
+        submission serves exactly the bytes the original run produced.
+        """
+        result = self.store.load(key)
+        return result.to_dict() if result is not None else None
+
+    async def _dispatch_loop(self) -> None:
+        """Fill free worker slots whenever submissions/completions kick."""
+        while True:
+            await self._kick.wait()
+            self._kick.clear()
+            while self._busy < self.config.workers:
+                job = self.manager.next_job()
+                if job is None:
+                    break
+                self._busy += 1
+                asyncio.get_running_loop().create_task(self._run_job(job))
+
+    async def _run_job(self, job: Job) -> None:
+        payload = {"spec": job.spec_dict,
+                   "cache_dir": self.config.cache_dir}
+        loop = asyncio.get_running_loop()
+        try:
+            key, result_dict = await loop.run_in_executor(
+                self._pool, execute_job, payload)
+            self.manager.finish(key, result_dict)
+        except Exception as exc:  # SpecExecutionError, BrokenProcessPool
+            self.manager.fail(job.key, f"{type(exc).__name__}: {exc}")
+        finally:
+            self._busy -= 1
+            self._kick.set()
+
+    # --------------------------------------------------------------- http
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            status, payload = await self._handle_request(reader)
+        except Exception as exc:  # a handler bug must not kill the loop
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        try:
+            body = json.dumps(payload).encode()
+            head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+                    f"Content-Type: application/json\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    f"Connection: close\r\n\r\n").encode()
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_request(self, reader: asyncio.StreamReader):
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        parts = request_line.split()
+        if len(parts) < 2:
+            return 400, {"error": f"malformed request line {request_line!r}"}
+        method, path = parts[0].upper(), parts[1]
+        headers = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            return 400, {"error": "bad Content-Length"}
+        if length > MAX_BODY_BYTES:
+            return 413, {"error": f"body exceeds {MAX_BODY_BYTES} bytes"}
+        body = await reader.readexactly(length) if length else b""
+        return self._route(method, path, headers, body)
+
+    def _route(self, method: str, path: str, headers: dict, body: bytes):
+        path = path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/jobs" and method == "POST":
+            return self._post_job(headers, body)
+        if path.startswith("/jobs/") and method == "GET":
+            return self._get_job(path[len("/jobs/"):])
+        if path.startswith("/results/") and method == "GET":
+            return self._get_result(path[len("/results/"):])
+        if path == "/healthz" and method == "GET":
+            return 200, {"ok": True,
+                         "uptime_s": time.time() - self.started_at}
+        if path == "/stats" and method == "GET":
+            return 200, self._stats()
+        if path in ("/jobs", "/healthz", "/stats") \
+                or path.startswith(("/jobs/", "/results/")):
+            return 405, {"error": f"{method} not allowed on {path}"}
+        return 404, {"error": f"no route {path!r}"}
+
+    # ------------------------------------------------------------- routes
+    def _post_job(self, headers: dict, body: bytes):
+        try:
+            payload = json.loads(body.decode("utf-8"))
+            if not isinstance(payload, dict):
+                raise ValueError("payload must be a JSON object")
+        except (ValueError, UnicodeDecodeError) as exc:
+            return 400, {"error": f"bad JSON body: {exc}"}
+        try:
+            spec = self._spec_from_payload(payload)
+            priority = int(payload.get("priority", 0))
+        except (ValueError, KeyError, TypeError) as exc:
+            return 400, {"error": str(exc) or type(exc).__name__}
+        client = str(payload.get("client")
+                     or headers.get("x-repro-client") or "anonymous")
+        key = spec.cache_key()
+        coalesced = key in self.manager.jobs \
+            and self.manager.jobs[key].state != ERROR
+        try:
+            job = self.manager.submit(key, spec.to_dict(), spec.label(),
+                                      priority=priority, client=client)
+        except JobRejected as exc:
+            return exc.status, {"error": str(exc)}
+        self._kick.set()
+        return 200, {
+            "id": job.key,
+            "label": job.label,
+            "state": job.state,
+            "position": self.manager.position(key),
+            "coalesced": coalesced,
+            "cache_hit": job.cache_hit,
+        }
+
+    def _spec_from_payload(self, payload: dict) -> RunSpec:
+        """The wire's two spec spellings, one content key.
+
+        ``spec`` is the full serialized :class:`RunSpec`; ``mix`` is the
+        CLI grammar plus the same knobs the CLI offers (``scale``,
+        ``default_policy``, ``max_kernels``).  Both go through the exact
+        conversion local runs use, so submitting a mix over HTTP and
+        typing it after ``repro run --mix`` are the same simulation.
+        """
+        if ("spec" in payload) == ("mix" in payload):
+            raise ValueError('payload needs exactly one of "spec" or "mix"')
+        if "spec" in payload:
+            return RunSpec.from_dict(payload["spec"])
+        return spec_from_mix(
+            payload["mix"],
+            scale=float(payload.get("scale", 1.0)),
+            default_policy=payload.get("default_policy"),
+            max_kernels=payload.get("max_kernels"))
+
+    def _get_job(self, key: str):
+        job = self.manager.get(key)
+        if job is None:
+            return 404, {"error": f"unknown job {key!r}"}
+        return 200, job.status_dict(position=self.manager.position(key))
+
+    def _get_result(self, key: str):
+        job = self.manager.get(key)
+        if job is not None and job.state == DONE and job.result is not None:
+            return 200, job.result
+        cached = self._lookup_cached(key)
+        if cached is not None:
+            return 200, cached
+        detail = {"error": f"no result for {key!r}"}
+        if job is not None:
+            detail["state"] = job.state
+            if job.error:
+                detail["job_error"] = job.error
+        return 404, detail
+
+    def _stats(self) -> dict:
+        return {
+            "uptime_s": time.time() - self.started_at,
+            "jobs": self.manager.stats(),
+            "workers": {
+                "total": self.config.workers,
+                "busy": self._busy,
+                "utilization": self._busy / self.config.workers,
+            },
+            "store": {
+                "cache_dir": self.config.cache_dir,
+                "hits": self.store.hits,
+                "misses": self.store.misses,
+                "quarantined": self.store.quarantined,
+            },
+        }

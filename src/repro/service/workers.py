@@ -1,0 +1,40 @@
+"""The job server's process-pool boundary.
+
+One module-level function so it pickles under every multiprocessing
+start method — the same constraint (and the same executor) as the
+campaign's ``_pool_worker``.  A worker executes exactly what a local
+campaign would: :func:`repro.experiments.campaign.execute_spec` on the
+deserialized :class:`~repro.experiments.campaign.RunSpec`, which is what
+makes the service's results interchangeable with local runs.
+
+Workers also *write* their result to the shared on-disk store before
+returning.  The write is atomic (:class:`~repro.experiments.store.
+ResultStore`), keys are content hashes and the simulator is
+deterministic, so two workers racing on one key publish identical bytes
+— and a result survives even if the server dies between the worker
+finishing and the reply landing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def execute_job(payload: dict) -> tuple[str, dict]:
+    """Run one job payload; returns ``(content_key, result_dict)``.
+
+    ``payload`` carries ``{"spec": RunSpec.to_dict(), "cache_dir": ...}``.
+    Failures raise :class:`~repro.experiments.campaign.
+    SpecExecutionError` naming the spec's label (pickle-safe across the
+    pool boundary).
+    """
+    from repro.experiments.campaign import (RunSpec, _execute_spec_labeled)
+    from repro.experiments.store import ResultStore
+
+    spec = RunSpec.from_dict(payload["spec"])
+    key = spec.cache_key()
+    result_dict = _execute_spec_labeled(spec)
+    cache_dir: Optional[str] = payload.get("cache_dir")
+    if cache_dir:
+        ResultStore(cache_dir).store(key, spec.to_dict(), result_dict)
+    return key, result_dict

@@ -1,0 +1,72 @@
+"""Shared test fixtures: an in-process campaign job server harness.
+
+The service tests need a real :class:`~repro.service.server.JobServer`
+listening on a real socket while the test thread drives it through the
+synchronous :class:`~repro.service.client.ServiceClient`.  The harness
+runs the server's event loop on a daemon thread, binds port 0 (the OS
+picks a free port, so parallel test runs never collide) and guarantees
+teardown even when a test fails mid-poll.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.config import ServiceConfig
+from repro.service.client import ServiceClient
+from repro.service.server import JobServer
+
+
+class ServerHarness:
+    """One live job server on a background event-loop thread."""
+
+    def __init__(self, **config_kwargs):
+        config_kwargs.setdefault("port", 0)
+        self.config = ServiceConfig(**config_kwargs)
+        self.server = JobServer(self.config)
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    def start(self) -> "ServerHarness":
+        self._thread.start()
+        asyncio.run_coroutine_threadsafe(self.server.start(),
+                                         self._loop).result(timeout=30)
+        return self
+
+    def stop(self) -> None:
+        if self._thread.is_alive():
+            asyncio.run_coroutine_threadsafe(self.server.stop(),
+                                             self._loop).result(timeout=60)
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10)
+        self._loop.close()
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def client(self, name: str = "test",
+               timeout: float = 60.0) -> ServiceClient:
+        return ServiceClient(port=self.port, client=name, timeout=timeout)
+
+
+@pytest.fixture
+def job_server_factory():
+    """Start job servers that are always torn down, even on failure."""
+    harnesses = []
+
+    def make(**config_kwargs) -> ServerHarness:
+        harness = ServerHarness(**config_kwargs).start()
+        harnesses.append(harness)
+        return harness
+
+    yield make
+    for harness in harnesses:
+        harness.stop()

@@ -1,0 +1,121 @@
+"""The fast-path install-decline matrix: refuse politely, change nothing.
+
+:func:`~repro.gpu.fastpath.install_fastpath` specializes a system only
+when its shape is inside the closed-form envelope; outside it, the
+install must *decline* — return False, leave the event tier active, and
+leave the system so untouched that its run is byte-identical to a twin
+system that never saw the installer.  One test per documented decline
+reason:
+
+* non-``HierarchicalCrossbar`` topology,
+* non-LRU replacement anywhere in the L1/LLC tag stores,
+* a nonzero tag-store ``index_shift``,
+* non-uniform set counts across slices (or across L1s).
+
+The topology case is reachable from configuration alone, so it also
+pins the end-to-end contract: a ``tier="fastpath"`` config on a full
+crossbar silently falls back and produces the event tier's exact
+results.  The other three shapes cannot be configured today (the config
+geometry is uniform and LRU by construction), so they are created by
+mutating *two identical systems the same way* and attempting the
+install on only one — any state the declined installer perturbed would
+show up as a result divergence between the twins.
+"""
+
+import dataclasses
+
+from repro.cache.replacement import FIFOPolicy
+from repro.experiments.campaign import RunSpec, execute_spec
+from repro.experiments.runner import experiment_config
+from repro.gpu.fastpath import install_fastpath
+from repro.gpu.system import GPUSystem
+from repro.workloads.catalog import build
+
+TINY = 0.02
+
+
+def _twin_systems(policy: str = "shared"):
+    """Two independently built, identical event-tier systems."""
+    def make():
+        cfg = experiment_config()  # tier defaults to "event": no install
+        workload = build("VA", total_accesses=2_000, num_ctas=32,
+                         max_kernels=1)
+        return GPUSystem(cfg, workload, policy=policy)
+    return make(), make()
+
+
+def _assert_declined_and_untouched(declined: GPUSystem,
+                                   untouched: GPUSystem) -> None:
+    assert install_fastpath(declined) is False
+    assert declined.tier == "event"
+    assert declined.run().to_dict() == untouched.run().to_dict(), (
+        "a declined install must leave the system byte-identical to one "
+        "that never attempted installation")
+
+
+# ------------------------------------------------- config-reachable reason
+def test_decline_non_hierarchical_crossbar_topology():
+    """A full-crossbar config with tier="fastpath" falls back to the
+    event tier end to end: same spec, same results, tier honest."""
+    noc_full = dataclasses.replace(experiment_config().noc, topology="full")
+    cfg_fast = experiment_config().replace(noc=noc_full, tier="fastpath")
+    cfg_event = experiment_config().replace(noc=noc_full)
+
+    workload = build("VA", total_accesses=2_000, num_ctas=32, max_kernels=1)
+    system = GPUSystem(cfg_fast, workload, policy="shared")
+    assert system.tier == "event", "fastpath must decline off-hxbar"
+
+    fast_spec = RunSpec.single("VA", "shared", cfg_fast, scale=TINY)
+    event_spec = RunSpec.single("VA", "shared", cfg_event, scale=TINY)
+    assert execute_spec(fast_spec).to_dict() == \
+        execute_spec(event_spec).to_dict()
+
+
+# ------------------------------------------------- mutation-only reasons
+def test_decline_non_lru_replacement():
+    declined, untouched = _twin_systems()
+    for system in (declined, untouched):
+        store = system.llc_slices[0].store
+        store._policies[0] = FIFOPolicy(store.assoc)
+    _assert_declined_and_untouched(declined, untouched)
+
+
+def test_decline_non_lru_l1_replacement():
+    """The guard covers the L1 tag stores too, not just the LLC."""
+    declined, untouched = _twin_systems()
+    for system in (declined, untouched):
+        store = system.sms[0].l1._store
+        store._policies[0] = FIFOPolicy(store.assoc)
+    _assert_declined_and_untouched(declined, untouched)
+
+
+def test_decline_nonzero_index_shift():
+    declined, untouched = _twin_systems()
+    for system in (declined, untouched):
+        system.llc_slices[0].store.index_shift = 1
+    _assert_declined_and_untouched(declined, untouched)
+
+
+def test_decline_non_uniform_set_counts():
+    declined, untouched = _twin_systems()
+    for system in (declined, untouched):
+        store = system.llc_slices[0].store
+        # Half the sets: indexes stay in range (modulo shrinks), so the
+        # event tier still runs fine — the shape is just non-uniform.
+        store.num_sets //= 2
+    _assert_declined_and_untouched(declined, untouched)
+
+
+def test_decline_non_uniform_l1_set_counts():
+    declined, untouched = _twin_systems()
+    for system in (declined, untouched):
+        system.sms[0].l1._store.num_sets //= 2
+    _assert_declined_and_untouched(declined, untouched)
+
+
+# ----------------------------------------------------------------- control
+def test_unmutated_twin_installs():
+    """The mutation harness itself must not be why installs decline: an
+    untouched twin accepts the fast path."""
+    system, _ = _twin_systems()
+    assert install_fastpath(system) is True

@@ -1,0 +1,195 @@
+"""End-to-end service tests over real sockets: parity, restarts, errors.
+
+A live :class:`~repro.service.server.JobServer` (via the conftest
+harness) driven through :class:`~repro.service.client.ServiceClient`.
+The headline contract: a spec submitted over HTTP produces the exact
+bytes a direct in-process :func:`execute_spec` produces, and a restarted
+server answers the same key from the shared store without simulating.
+"""
+
+import http.client
+import json
+
+import pytest
+
+from repro.experiments.campaign import execute_spec, spec_from_mix
+from repro.experiments.runner import experiment_config
+from repro.service.client import ServiceClient, ServiceError
+
+TINY = 0.02
+
+#: One tiny but real simulation, spelled in the mix grammar.
+MIX = "VA:static-shared"
+
+
+def _canon(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+def _tiny_spec():
+    return spec_from_mix(MIX, scale=TINY, max_kernels=1)
+
+
+# ------------------------------------------------------------ happy path
+def test_submit_poll_fetch_parity_coalesce_and_restart(job_server_factory,
+                                                       tmp_path):
+    """The full service life: one spec goes over the wire, comes back
+    byte-identical, coalesces on resubmission (as spec *and* as mix),
+    and survives a server restart as a store-served cache hit."""
+    cache = str(tmp_path / "service-cache")
+    harness = job_server_factory(cache_dir=cache)
+    client = harness.client("parity-test")
+    spec = _tiny_spec()
+
+    reply = client.submit_spec(spec)
+    assert reply["id"] == spec.cache_key(), "the job id IS the content key"
+    assert reply["coalesced"] is False
+    assert reply["cache_hit"] is False
+
+    payload = client.wait(reply["id"], timeout=240)
+    direct = execute_spec(spec).to_dict()
+    assert _canon(payload) == _canon(direct), \
+        "service results must be byte-identical to direct execution"
+    assert _canon(client.result(reply["id"])) == _canon(direct)
+
+    status = client.job(reply["id"])
+    assert status["state"] == "done"
+    assert status["wall_s"] > 0
+
+    # Resubmission coalesces — same id, no second execution — whether it
+    # arrives as a serialized spec or as the equivalent mix text.
+    again = client.submit_spec(spec, priority=5)
+    assert again["id"] == reply["id"]
+    assert again["coalesced"] is True
+    as_mix = client.submit_mix(MIX, scale=TINY, max_kernels=1)
+    assert as_mix["id"] == reply["id"]
+    assert as_mix["coalesced"] is True
+
+    stats = client.stats()
+    assert stats["jobs"]["submitted"] == 3
+    assert stats["jobs"]["coalesced"] == 2
+    assert stats["jobs"]["executed"] == 1
+    assert stats["workers"]["total"] == harness.config.workers
+    assert stats["store"]["cache_dir"] == cache
+
+    # Restart: a fresh server on the same store answers instantly.
+    harness.stop()
+    harness2 = job_server_factory(cache_dir=cache)
+    client2 = harness2.client("parity-test")
+    warm = client2.submit_spec(spec)
+    assert warm["state"] == "done"
+    assert warm["cache_hit"] is True
+    assert _canon(client2.result(warm["id"])) == _canon(direct)
+    assert client2.stats()["jobs"]["cache_hit_rate"] == 1.0
+
+
+# ---------------------------------------------------------------- errors
+def test_failing_spec_becomes_an_error_job(job_server_factory):
+    """A spec that decodes but cannot simulate (geometrically impossible
+    config) lands in the error state: wait() raises, the status carries
+    the cause, and the result route says why there is none."""
+    harness = job_server_factory()
+    client = harness.client()
+    bad_cfg = experiment_config().replace(line_bytes=48)  # not a power of 2
+    spec = _tiny_spec()
+    broken = type(spec).single(spec.benchmark, spec.mode, bad_cfg,
+                               scale=TINY, max_kernels=1)
+    reply = client.submit_spec(broken)
+    with pytest.raises(ServiceError, match="failed"):
+        client.wait(reply["id"], timeout=60)
+    status = client.job(reply["id"])
+    assert status["state"] == "error"
+    assert "power of two" in status["error"]
+    with pytest.raises(ServiceError) as exc:
+        client.result(reply["id"])
+    assert exc.value.status == 404
+    assert exc.value.payload["state"] == "error"
+    assert "power of two" in exc.value.payload["job_error"]
+
+
+def test_wire_level_rejections(job_server_factory):
+    harness = job_server_factory()
+    client = harness.client()
+
+    with pytest.raises(ServiceError) as exc:
+        client.job("no-such-job")
+    assert exc.value.status == 404
+    with pytest.raises(ServiceError) as exc:
+        client.result("no-such-key")
+    assert exc.value.status == 404
+
+    for payload in (
+        {"mix": "NOPE:static-shared"},               # unknown benchmark
+        {"mix": MIX, "spec": _tiny_spec().to_dict()},  # ambiguous
+        {},                                          # neither spelling
+        {"mix": "VA:warp-speed"},                    # unknown policy
+    ):
+        with pytest.raises(ServiceError) as exc:
+            client.submit(payload)
+        assert exc.value.status == 400, payload
+
+
+def _raw(port: int, method: str, path: str, body: bytes = b""):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request(method, path, body=body,
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        return response.status, json.loads(response.read().decode())
+    finally:
+        conn.close()
+
+
+def test_raw_http_edges(job_server_factory):
+    harness = job_server_factory()
+    port = harness.port
+
+    status, body = _raw(port, "POST", "/jobs", b"{not json")
+    assert status == 400
+    assert "bad JSON" in body["error"]
+
+    status, body = _raw(port, "POST", "/jobs", b'"just a string"')
+    assert status == 400
+
+    status, body = _raw(port, "GET", "/jobs")  # wrong method, known path
+    assert status == 405
+    status, body = _raw(port, "POST", "/healthz")
+    assert status == 405
+    status, body = _raw(port, "DELETE", "/results/abc")
+    assert status == 405
+
+    status, body = _raw(port, "GET", "/no/such/route")
+    assert status == 404
+
+    status, body = _raw(port, "GET", "/healthz")
+    assert status == 200
+    assert body["ok"] is True
+    assert body["uptime_s"] >= 0
+
+    # Trailing slashes and query strings normalize onto the same routes.
+    status, body = _raw(port, "GET", "/healthz/?probe=1")
+    assert status == 200
+
+
+def test_quota_keys_off_the_client_identity(job_server_factory):
+    """The per-client quota charges the creator the transport names
+    (``X-Repro-Client``): while alice's real job is in flight her next
+    distinct key bounces with 429, bob's identical payload is admitted,
+    and alice may still coalesce onto live work for free."""
+    harness = job_server_factory(quota=1, workers=1)
+    alice = harness.client("alice")
+    bob = harness.client("bob")
+    spec_a = _tiny_spec()
+    spec_b = spec_from_mix("GEMM:static-shared", scale=TINY, max_kernels=1)
+
+    first = alice.submit_spec(spec_a)  # occupies alice's one token
+    with pytest.raises(ServiceError) as exc:
+        alice.submit_spec(spec_b)
+    assert exc.value.status == 429
+    assert "alice" in str(exc.value)
+    alice.submit_spec(spec_a)          # coalescing is free, even at quota
+    queued = bob.submit_spec(spec_b)   # bob pays for bob's key
+    assert queued["state"] == "queued"
+    # Drain both so teardown isn't racing live simulations.
+    alice.wait(first["id"], timeout=240)
+    bob.wait(queued["id"], timeout=240)

@@ -1,0 +1,212 @@
+"""JobManager unit tests: coalescing, priority, quotas — no sockets.
+
+The manager is the service's entire brain (the HTTP layer is an
+adapter), so its invariants are pinned here at function-call speed:
+exactly-once per content key, priority dispatch order, per-client
+quota accounting, and the store probe that lets submissions be born
+``done``.
+"""
+
+import pytest
+
+from repro.service.jobs import (DONE, ERROR, QUEUED, RUNNING, Job,
+                                JobManager, JobRejected)
+
+
+def _submit(mgr, key, **kw):
+    kw.setdefault("spec_dict", {"benchmark": key})
+    kw.setdefault("label", key)
+    return mgr.submit(key, kw.pop("spec_dict"), kw.pop("label"), **kw)
+
+
+# ------------------------------------------------------------- lifecycle
+def test_submit_dispatch_finish_lifecycle():
+    mgr = JobManager()
+    job = _submit(mgr, "a")
+    assert job.state == QUEUED
+    assert mgr.position("a") == 1
+    running = mgr.next_job()
+    assert running is job
+    assert job.state == RUNNING
+    assert mgr.position("a") is None
+    mgr.finish("a", {"ipc": 1.0})
+    assert job.state == DONE
+    assert job.result == {"ipc": 1.0}
+    assert mgr.next_job() is None
+    assert mgr.stats()["executed"] == 1
+
+
+def test_fail_marks_error_and_resubmit_rearms():
+    """Only an errored key re-arms; the retry is a fresh execution."""
+    mgr = JobManager()
+    _submit(mgr, "a")
+    mgr.next_job()
+    mgr.fail("a", "boom")
+    assert mgr.get("a").state == ERROR
+    assert mgr.get("a").error == "boom"
+    retry = _submit(mgr, "a")
+    assert retry.state == QUEUED
+    assert retry.error is None
+    assert mgr.coalesced == 0, "an error retry is not a coalesce"
+    assert mgr.next_job() is retry
+
+
+# ------------------------------------------------------------ coalescing
+def test_live_key_coalesces_exactly_once():
+    mgr = JobManager()
+    first = _submit(mgr, "a", client="alice")
+    for state_setter in (lambda: None,                       # queued
+                         lambda: mgr.next_job(),             # running
+                         lambda: mgr.finish("a", {"x": 1})):  # done
+        state_setter()
+        again = _submit(mgr, "a", client="bob")
+        assert again is first
+    assert mgr.submitted == 4
+    assert mgr.coalesced == 3
+    assert first.clients == ["alice", "bob"]
+    assert mgr.next_job() is None, "coalescing never schedules twice"
+
+
+def test_priority_bump_reorders_queued_job():
+    """A coalescing submitter with a higher priority moves the job up;
+    the stale heap entry is skipped, not double-dispatched."""
+    mgr = JobManager()
+    _submit(mgr, "low", priority=1)
+    _submit(mgr, "mid", priority=5)
+    _submit(mgr, "low", priority=9)  # bump past "mid"
+    assert mgr.get("low").priority == 9
+    assert mgr.position("low") == 1
+    assert [mgr.next_job().key for _ in range(2)] == ["low", "mid"]
+    assert mgr.next_job() is None
+
+
+def test_priority_bump_ignores_lower_resubmission():
+    mgr = JobManager()
+    _submit(mgr, "a", priority=7)
+    _submit(mgr, "a", priority=2)
+    assert mgr.get("a").priority == 7
+
+
+# -------------------------------------------------------------- priority
+def test_dispatch_order_is_priority_then_fifo():
+    mgr = JobManager()
+    for key, priority in (("c", 0), ("a", 5), ("b", 5), ("d", 1)):
+        _submit(mgr, key, priority=priority)
+    assert [mgr.position(k) for k in ("a", "b", "d", "c")] == [1, 2, 3, 4]
+    order = [mgr.next_job().key for _ in range(4)]
+    assert order == ["a", "b", "d", "c"]
+
+
+# ----------------------------------------------------------- store probe
+def test_lookup_result_makes_submission_born_done():
+    store = {"warm": {"ipc": 2.0}}
+    mgr = JobManager(lookup_result=store.get)
+    job = _submit(mgr, "warm")
+    assert job.state == DONE
+    assert job.cache_hit is True
+    assert job.result == {"ipc": 2.0}
+    assert mgr.next_job() is None, "cache hits never occupy a worker"
+    cold = _submit(mgr, "cold")
+    assert cold.state == QUEUED
+    stats = mgr.stats()
+    assert stats["cache_hits"] == 1
+    assert stats["cache_hit_rate"] == 1.0  # nothing executed yet
+
+
+# ----------------------------------------------------------------- quota
+def test_quota_rejects_creator_but_not_coalescers():
+    mgr = JobManager(quota=2)
+    _submit(mgr, "a", client="alice")
+    _submit(mgr, "b", client="alice")
+    with pytest.raises(JobRejected) as exc:
+        _submit(mgr, "c", client="alice")
+    assert exc.value.status == 429
+    # Coalescing onto live work is free — alice is over quota but may
+    # still join b...
+    _submit(mgr, "b", client="alice")
+    # ...and bob's fresh key is bob's own charge.
+    _submit(mgr, "c", client="bob")
+
+
+def test_quota_token_releases_on_completion():
+    mgr = JobManager(quota=1)
+    _submit(mgr, "a", client="alice")
+    with pytest.raises(JobRejected):
+        _submit(mgr, "b", client="alice")
+    mgr.next_job()
+    with pytest.raises(JobRejected):
+        _submit(mgr, "b", client="alice")  # running still charges
+    mgr.finish("a", {})
+    assert _submit(mgr, "b", client="alice").state == QUEUED
+
+
+def test_quota_zero_disables_the_check():
+    mgr = JobManager(quota=0)
+    for i in range(50):
+        _submit(mgr, f"k{i}", client="alice")
+
+
+# ------------------------------------------------------------- max_queue
+def test_full_queue_rejects_with_503():
+    mgr = JobManager(max_queue=2)
+    _submit(mgr, "a")
+    _submit(mgr, "b")
+    with pytest.raises(JobRejected) as exc:
+        _submit(mgr, "c")
+    assert exc.value.status == 503
+    _submit(mgr, "a", priority=3)  # coalescing bypasses admission
+    mgr.next_job()
+    _submit(mgr, "c")  # a slot opened
+
+
+# ---------------------------------------------------------------- status
+def test_status_dict_shapes_by_state():
+    mgr = JobManager()
+    job = _submit(mgr, "a", priority=4)
+    queued = job.status_dict(position=mgr.position("a"))
+    assert queued["state"] == QUEUED
+    assert queued["position"] == 1
+    assert queued["waiting_s"] >= 0.0
+    assert queued["wall_s"] is None
+
+    mgr.next_job()
+    running = job.status_dict()
+    assert running["state"] == RUNNING
+    assert "position" not in running
+    assert running["wall_s"] >= 0.0
+
+    mgr.finish("a", {"ipc": 1.0})
+    done = job.status_dict()
+    assert done["state"] == DONE
+    assert done["error"] is None
+    assert done["wall_s"] == job.finished_at - job.started_at
+    assert done["id"] == "a"
+    assert done["priority"] == 4
+
+
+def test_stats_shape_and_rates():
+    store = {"warm": {"ipc": 2.0}}
+    mgr = JobManager(lookup_result=store.get)
+    _submit(mgr, "warm")
+    _submit(mgr, "cold")
+    _submit(mgr, "cold")          # coalesce
+    mgr.next_job()
+    mgr.finish("cold", {})
+    _submit(mgr, "dead")
+    mgr.next_job()
+    mgr.fail("dead", "boom")
+    stats = mgr.stats()
+    assert stats["submitted"] == 4
+    assert stats["coalesced"] == 1
+    assert stats["cache_hits"] == 1
+    assert stats["executed"] == 1
+    assert stats["errors"] == 1
+    assert stats["states"] == {QUEUED: 0, RUNNING: 0, DONE: 2, ERROR: 1}
+    assert stats["cache_hit_rate"] == 0.5
+
+
+def test_job_defaults_are_inert():
+    job = Job(key="k", spec_dict={}, label="k")
+    assert job.state == QUEUED
+    assert job.clients == []
+    assert job.cache_hit is False

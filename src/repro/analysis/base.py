@@ -1,0 +1,168 @@
+"""The rule abstraction: parameter schemas and the per-file check surface.
+
+Mirrors the LLC-policy layer deliberately — a rule is a registered class
+with a ``NAME``, a one-line ``DESCRIPTION``, a declared :class:`RuleParam`
+schema, and one hook (:meth:`Rule.check`).  The registry and the
+``NAME[:k=v,...]`` spec grammar live in :mod:`repro.analysis.registry`.
+
+The analysis package imports nothing from the simulator, so it can be
+type-checked strictly and run on broken trees.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.findings import Finding
+from repro.analysis.pragmas import FilePragmas
+
+
+@dataclass(frozen=True)
+class RuleParam:
+    """One declared, typed rule parameter (the ``k=v`` of a rule spec).
+
+    Attributes:
+        name: parameter key as given in ``--rules name:key=value``.
+        type: expected Python type (``int``/``float``/``bool``/``str``).
+        default: value used when omitted.
+        doc: one-line description for ``repro check --list-rules``.
+    """
+
+    name: str
+    type: type
+    default: object
+    doc: str = ""
+
+    def coerce(self, value: object) -> object:
+        """Validate ``value`` against the schema, widening int → float.
+
+        Raises:
+            ValueError: on a type mismatch.
+        """
+        if self.type is float and isinstance(value, int) \
+                and not isinstance(value, bool):
+            value = float(value)
+        if self.type is int and isinstance(value, bool):
+            raise ValueError(
+                f"rule parameter {self.name!r} expects int, "
+                f"got bool {value!r}")
+        if not isinstance(value, self.type):
+            raise ValueError(
+                f"rule parameter {self.name!r} expects "
+                f"{self.type.__name__}, got {value!r} "
+                f"({type(value).__name__})")
+        return value
+
+
+@dataclass
+class SourceFile:
+    """One parsed source file as handed to every rule.
+
+    Attributes:
+        path: the path findings report (posix separators).
+        tree: the parsed module.
+        pragmas: every ``# repro:`` pragma in the file.
+        is_sim: True for determinism-critical simulator code (see
+            :func:`repro.analysis.config.classify_path`); infrastructure
+            files (CLI, service, experiments) may use wall clocks and
+            shared RNGs freely.
+    """
+
+    path: str
+    tree: ast.Module
+    pragmas: FilePragmas
+    is_sim: bool = True
+
+    def finding(self, node: ast.AST, rule: str, message: str) -> Finding:
+        """A :class:`Finding` anchored at ``node``'s location."""
+        line = int(getattr(node, "lineno", 1))
+        col = int(getattr(node, "col_offset", 0))
+        return Finding(path=self.path, line=line, col=col,
+                       rule=rule, message=message)
+
+
+class Rule:
+    """Base class for registered static-analysis rules.
+
+    Subclasses set ``NAME`` and ``DESCRIPTION``, optionally declare
+    ``PARAMS``, and implement :meth:`check`.  Construction validates and
+    coerces keyword parameters against ``PARAMS``; canonical values land
+    in ``self.params``.
+    """
+
+    #: Canonical registered name (the ``--rules`` key).
+    NAME: str = ""
+    #: One-line description shown by ``repro check --list-rules``.
+    DESCRIPTION: str = ""
+    #: Declared parameter schema.
+    PARAMS: tuple[RuleParam, ...] = ()
+
+    def __init__(self, **params: object) -> None:
+        self.params: dict[str, object] = self.canonical_params(params)
+
+    @classmethod
+    def param_schema(cls) -> dict[str, RuleParam]:
+        return {p.name: p for p in cls.PARAMS}
+
+    @classmethod
+    def canonical_params(cls, params: dict[str, object] | None
+                         ) -> dict[str, object]:
+        """Validate/coerce ``params``; every declared parameter is present
+        in the result (defaults fill the gaps).
+
+        Raises:
+            ValueError: for unknown parameter names or type mismatches.
+        """
+        schema = cls.param_schema()
+        given = dict(params or {})
+        unknown = set(given) - set(schema)
+        if unknown:
+            raise ValueError(
+                f"rule {cls.NAME!r} has no parameters {sorted(unknown)} "
+                f"(available: {sorted(schema) or 'none'})")
+        out: dict[str, object] = {name: schema[name].coerce(value)
+                                  for name, value in given.items()}
+        for name, spec in schema.items():
+            out.setdefault(name, spec.default)
+        return out
+
+    def check(self, src: SourceFile) -> list[Finding]:
+        """Findings for one file (pragma/baseline filtering happens in the
+        checker, not here — rules report everything they see)."""
+        raise NotImplementedError
+
+    @classmethod
+    def describe(cls) -> dict[str, object]:
+        """Registry metadata row for ``repro check --list-rules``."""
+        return {
+            "name": cls.NAME,
+            "description": cls.DESCRIPTION,
+            "params": [{"name": p.name, "type": p.type.__name__,
+                        "default": p.default, "doc": p.doc}
+                       for p in cls.PARAMS],
+        }
+
+
+def call_name(node: ast.expr) -> str | None:
+    """The terminal name of a call target: ``foo`` → ``foo``,
+    ``self.foo`` / ``a.b.foo`` → ``foo``, anything else → None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` rendered as ``"a.b.c"`` when the chain is pure
+    names/attributes, else None."""
+    parts: list[str] = []
+    cur: ast.expr = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if not isinstance(cur, ast.Name):
+        return None
+    parts.append(cur.id)
+    return ".".join(reversed(parts))

@@ -1,0 +1,148 @@
+"""The committed findings baseline: grandfathering without silencing.
+
+A baseline entry says "this many findings with this ``(path, rule,
+message)`` identity are known and accepted".  The checker suppresses up to
+``count`` matching findings per entry; anything beyond the count is *new*
+and fails the run.  Entries that no longer match enough findings are
+*stale* and also fail the run — a fixed finding must leave the baseline
+(run ``repro check --fix-baseline``), so the file can only shrink toward
+zero unless a reviewer sees it grow in a diff.
+
+The on-disk form is JSON, sorted by ``(path, rule, message)`` with sorted
+keys, so ``--fix-baseline`` is deterministic and baseline diffs stay
+reviewable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+#: Schema version of the baseline file.
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding identity and how many are accepted."""
+
+    path: str
+    rule: str
+    message: str
+    count: int = 1
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.path, self.rule, self.message)
+
+    def to_dict(self) -> dict[str, object]:
+        return {"path": self.path, "rule": self.rule,
+                "message": self.message, "count": self.count}
+
+
+@dataclass
+class BaselineMatch:
+    """Outcome of applying a baseline to a finding list.
+
+    Attributes:
+        findings: the input findings, each marked ``baselined`` when an
+            entry absorbed it, in the same order.
+        stale: entries whose count exceeds the matching findings (the
+            violation was fixed but the baseline still carries it).
+    """
+
+    findings: list[Finding]
+    stale: list[BaselineEntry]
+
+
+class Baseline:
+    """An in-memory baseline: entry list plus the matching logic."""
+
+    def __init__(self, entries: list[BaselineEntry] | None = None) -> None:
+        self.entries: list[BaselineEntry] = list(entries or [])
+
+    # ------------------------------------------------------------- load/save
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline.
+
+        Raises:
+            ValueError: on malformed JSON or an unknown schema version.
+        """
+        p = Path(path)
+        if not p.exists():
+            return cls()
+        try:
+            data = json.loads(p.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"baseline {p} is not valid JSON: {exc}")
+        if not isinstance(data, dict) \
+                or data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"baseline {p} has unsupported schema "
+                f"(want version {BASELINE_VERSION})")
+        entries: list[BaselineEntry] = []
+        raw_entries = data.get("entries")
+        if not isinstance(raw_entries, list):
+            raise ValueError(f"baseline {p} has no entry list")
+        for raw in raw_entries:
+            if not isinstance(raw, dict):
+                raise ValueError(f"baseline {p} has a non-object entry")
+            entries.append(BaselineEntry(
+                path=str(raw["path"]), rule=str(raw["rule"]),
+                message=str(raw["message"]),
+                count=int(raw.get("count", 1))))
+        return cls(entries)
+
+    def save(self, path: str | Path) -> None:
+        """Write the canonical (sorted, stable) on-disk form."""
+        Path(path).write_text(self.render() + "\n")
+
+    def render(self) -> str:
+        """The canonical JSON text: entries sorted by (path, rule,
+        message), keys sorted, two-space indent."""
+        entries = sorted(self.entries, key=BaselineEntry.key)
+        data = {"version": BASELINE_VERSION,
+                "entries": [e.to_dict() for e in entries]}
+        return json.dumps(data, indent=2, sort_keys=True)
+
+    # ------------------------------------------------------------- matching
+    def apply(self, findings: list[Finding]) -> BaselineMatch:
+        """Mark up to ``count`` findings per entry as baselined.
+
+        When several findings share an identity (the same message at
+        different lines), the lowest-line ones are absorbed first, so the
+        *newest* occurrences surface as new findings.
+        """
+        budget: dict[tuple[str, str, str], int] = {}
+        for entry in self.entries:
+            budget[entry.key()] = budget.get(entry.key(), 0) + entry.count
+        used: dict[tuple[str, str, str], int] = {}
+        out: list[Finding] = []
+        for finding in sorted(findings, key=Finding.sort_key):
+            key = finding.baseline_key()
+            if used.get(key, 0) < budget.get(key, 0):
+                used[key] = used.get(key, 0) + 1
+                out.append(finding.with_baselined())
+            else:
+                out.append(finding)
+        stale = [entry for entry in
+                 sorted(self.entries, key=BaselineEntry.key)
+                 if used.get(entry.key(), 0) < budget.get(entry.key(), 0)]
+        return BaselineMatch(findings=out, stale=stale)
+
+    # ----------------------------------------------------------- regenerate
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        """The baseline that exactly grandfathers ``findings`` — what
+        ``repro check --fix-baseline`` writes."""
+        counts: dict[tuple[str, str, str], int] = {}
+        for finding in findings:
+            key = finding.baseline_key()
+            counts[key] = counts.get(key, 0) + 1
+        entries = [BaselineEntry(path=path, rule=rule, message=message,
+                                 count=count)
+                   for (path, rule, message), count in sorted(counts.items())]
+        return cls(entries)

@@ -1,0 +1,58 @@
+"""Checker configuration: path classification and defaults.
+
+The determinism rule only makes sense for *simulator* code — the modules
+whose behaviour feeds golden captures, content keys, and tier parity.
+Infrastructure (the CLI, the job service, campaign drivers, the report
+builder, the benchmark harness, this package) legitimately reads wall
+clocks and prints in wall-clock order, so those paths are classified out.
+
+Classification keys on the path *inside* the ``repro`` package, so it is
+stable no matter which directory the checker is invoked from.  Files that
+are not under a ``repro`` package at all (rule-fixture snippets in tests,
+scratch files) default to the strict ``sim`` classification.
+"""
+
+from __future__ import annotations
+
+from pathlib import PurePosixPath
+
+#: Default scan roots for ``repro check`` with no path arguments.
+DEFAULT_PATHS: tuple[str, ...] = ("src/repro",)
+
+#: Default committed baseline location (repo root).
+DEFAULT_BASELINE: str = ".repro-check-baseline.json"
+
+#: Package-relative prefixes that are infrastructure, not simulator code.
+INFRA_PREFIXES: tuple[str, ...] = (
+    "analysis/",
+    "experiments/",
+    "report/",
+    "service/",
+)
+
+#: Package-relative files that are infrastructure, not simulator code.
+INFRA_FILES: tuple[str, ...] = (
+    "bench.py",
+    "cli.py",
+)
+
+
+def package_relative(path: str) -> str | None:
+    """The posix path inside the ``repro`` package, or None when ``path``
+    does not contain a ``repro`` component (``src/repro/sim/engine.py`` →
+    ``sim/engine.py``)."""
+    parts = PurePosixPath(path.replace("\\", "/")).parts
+    for i, part in enumerate(parts):
+        if part == "repro" and i + 1 < len(parts):
+            return "/".join(parts[i + 1:])
+    return None
+
+
+def is_sim_path(path: str) -> bool:
+    """True when ``path`` holds determinism-critical simulator code."""
+    rel = package_relative(path)
+    if rel is None:
+        return True  # unknown layout: default to the strict classification
+    if rel in INFRA_FILES:
+        return False
+    return not rel.startswith(INFRA_PREFIXES)

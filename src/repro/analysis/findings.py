@@ -1,0 +1,66 @@
+"""The unit of checker output: one rule violation at one source location.
+
+A :class:`Finding` is deliberately *message-stable*: the message never
+embeds line numbers or other volatile coordinates, so the committed
+baseline (:mod:`repro.analysis.baseline`) can match findings across
+unrelated edits to the same file.  The ``(path, rule, message)`` triple is
+the baseline key; ``line``/``col`` exist for display and sorting only.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation.
+
+    Attributes:
+        path: file path as scanned (posix separators, stable across runs).
+        line: 1-based source line.
+        col: 0-based column offset.
+        rule: the reporting rule's registered ``NAME``.
+        message: human-readable description; **must not** contain line
+            numbers (it is part of the baseline key).
+        baselined: set by the checker when a committed baseline entry
+            grandfathers this finding; baselined findings never fail a
+            check run.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    baselined: bool = False
+
+    def sort_key(self) -> tuple[str, int, int, str, str]:
+        """Deterministic report order: file, position, rule, message."""
+        return (self.path, self.line, self.col, self.rule, self.message)
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        """The line-insensitive identity the baseline matches on."""
+        return (self.path, self.rule, self.message)
+
+    def with_baselined(self) -> "Finding":
+        """A copy marked as grandfathered by the baseline."""
+        return dataclasses.replace(self, baselined=True)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready form (the ``--format json`` reporter's row)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "baselined": self.baselined,
+        }
+
+    def render(self) -> str:
+        """The one-line text-reporter form: ``path:line:col: rule: msg``."""
+        mark = " [baselined]" if self.baselined else ""
+        return f"{self.path}:{self.line}:{self.col}: " \
+               f"{self.rule}: {self.message}{mark}"

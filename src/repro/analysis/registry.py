@@ -1,0 +1,97 @@
+"""Name → class registry for checker rules, plus the spec grammar.
+
+Rules register with the :func:`register_rule` class decorator and resolve
+through this one table, exactly like the LLC-policy registry.  The spec
+grammar is the same ``NAME[:key=value,...]`` idiom with JSON-typed values
+(bare words fall back to strings)::
+
+    repro check --rules determinism,hot-path:slots=false
+
+The grammar is re-implemented here (12 lines) rather than imported from
+:mod:`repro.config` so the analysis package stays a dependency-free,
+strictly-typed island.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.base import Rule
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: add ``cls`` under its ``NAME``.  Duplicate names
+    are a programming error and raise."""
+    if not cls.NAME:
+        raise ValueError(f"{cls.__name__} declares no NAME")
+    if cls.NAME in _REGISTRY:
+        raise ValueError(f"check rule name {cls.NAME!r} already registered")
+    _REGISTRY[cls.NAME] = cls
+    return cls
+
+
+def available_rules() -> dict[str, type[Rule]]:
+    """Canonical name → class, sorted by name."""
+    _load_builtin_rules()
+    return {name: _REGISTRY[name] for name in sorted(_REGISTRY)}
+
+
+def rule_class(name: str) -> type[Rule]:
+    """The rule class registered under ``name``.
+
+    Raises:
+        ValueError: for unregistered names.
+    """
+    _load_builtin_rules()
+    if name not in _REGISTRY:
+        raise ValueError(
+            f"unknown check rule {name!r} (registered: "
+            f"{', '.join(sorted(_REGISTRY))})")
+    return _REGISTRY[name]
+
+
+def parse_rule_spec(text: str) -> tuple[str, dict[str, object]]:
+    """Parse ``NAME[:key=value,...]`` into ``(name, params)``.
+
+    Values parse as JSON; bare words fall back to strings.  The name is
+    not resolved here — callers validate through :func:`rule_class` so
+    parse errors and unknown-name errors stay distinguishable.
+    """
+    name, sep, rest = text.partition(":")
+    name = name.strip()
+    if not name:
+        raise ValueError(f"rule spec {text!r} has no name")
+    params: dict[str, object] = {}
+    if sep and rest.strip():
+        for token in rest.split(","):
+            key, eq, raw = token.partition("=")
+            key = key.strip()
+            if not eq or not key:
+                raise ValueError(
+                    f"rule parameter {token!r} is not of the form "
+                    f"key=value (in {text!r})")
+            try:
+                value: object = json.loads(raw.strip())
+            except ValueError:
+                value = raw.strip()
+            params[key] = value
+    return name, params
+
+
+def create_rule(spec: str) -> Rule:
+    """Instantiate a rule from its ``NAME[:k=v,...]`` spec."""
+    name, params = parse_rule_spec(spec)
+    return rule_class(name)(**params)
+
+
+def default_rules() -> list[Rule]:
+    """One instance of every registered rule with default parameters."""
+    return [cls() for cls in available_rules().values()]
+
+
+def _load_builtin_rules() -> None:
+    """Import the built-in rule modules (registration is their import
+    side effect), lazily so the registry module itself stays cheap."""
+    import repro.analysis.rules  # noqa: F401  (registers on import)

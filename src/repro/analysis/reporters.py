@@ -1,0 +1,53 @@
+"""Check-report rendering: the ``--format text`` and ``--format json``
+backends of ``repro check``.
+
+Text is for humans at a terminal (one ``path:line:col: rule: message``
+line per finding, grep- and editor-jump-friendly, summary last).  JSON is
+for the CI gate: a single object with the findings, stale baseline
+entries, and a top-level ``ok`` so the gate is one ``jq .ok`` away.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.checker import CheckReport
+
+
+def render_text(report: CheckReport) -> str:
+    """The human-facing report (trailing newline included)."""
+    lines: list[str] = []
+    for finding in report.findings:
+        lines.append(finding.render())
+    for path, line, directive in report.unknown_pragmas:
+        lines.append(f"{path}:{line}:0: pragma: unknown '# repro:' "
+                     f"directive {directive!r}")
+    for entry in report.stale:
+        lines.append(f"{entry.path}: stale baseline entry "
+                     f"({entry.rule}: {entry.message}); run "
+                     f"'repro check --fix-baseline'")
+    new = len(report.new_findings)
+    grandfathered = len(report.findings) - new
+    summary = (f"checked {report.files_checked} files: "
+               f"{new} new finding{'s' if new != 1 else ''}, "
+               f"{grandfathered} baselined, {len(report.stale)} stale "
+               f"baseline entr{'ies' if len(report.stale) != 1 else 'y'}")
+    lines.append(summary)
+    lines.append("OK" if report.ok else "FAIL")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(report: CheckReport) -> str:
+    """The machine-facing report: one JSON object, sorted keys, trailing
+    newline — byte-stable for identical inputs."""
+    data = {
+        "ok": report.ok,
+        "files_checked": report.files_checked,
+        "findings": [f.to_dict() for f in report.findings],
+        "new_findings": len(report.new_findings),
+        "stale_baseline": [e.to_dict() for e in report.stale],
+        "unknown_pragmas": [
+            {"path": path, "line": line, "directive": directive}
+            for path, line, directive in report.unknown_pragmas],
+    }
+    return json.dumps(data, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,14 @@
+"""Built-in checker rules.
+
+Importing this package registers every built-in rule (the modules'
+``@register_rule`` decorators run as an import side effect) — the same
+lazy-registration idiom as :mod:`repro.policy`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules import continuation  # noqa: F401
+from repro.analysis.rules import determinism  # noqa: F401
+from repro.analysis.rules import hotpath  # noqa: F401
+from repro.analysis.rules import registry_contract  # noqa: F401
+from repro.analysis.rules import serialization  # noqa: F401

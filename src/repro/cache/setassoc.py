@@ -19,6 +19,7 @@ the architectural rule *first invalid way, else ask the replacement policy*:
 ``keys.index(None)`` finds the first invalid way in the same C scan.
 """
 
+# repro: hot-path
 from __future__ import annotations
 
 from dataclasses import dataclass
@@ -27,7 +28,7 @@ from typing import Optional
 from repro.cache.replacement import make_policy
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AccessResult:
     """Outcome of a cache access.
 
@@ -66,6 +67,11 @@ class SetAssocCache:
         When False, write misses do not fill the cache (GPU L1 behaviour).
     """
 
+    __slots__ = ("name", "num_sets", "assoc", "index_shift",
+                 "allocate_on_write", "_keys", "_dirty", "_policies",
+                 "hits", "misses", "evictions", "writebacks")
+
+    # repro: cold
     def __init__(self, num_sets: int, assoc: int, index_shift: int = 0,
                  policy: str = "lru", allocate_on_write: bool = True,
                  name: str = ""):
@@ -221,10 +227,12 @@ class SetAssocCache:
         total = self.accesses
         return self.misses / total if total else 0.0
 
+    # repro: cold
     def occupancy(self) -> int:
         """Number of valid lines currently resident."""
         return sum(1 for keys in self._keys for k in keys if k is not None)
 
+    # repro: cold
     def resident_keys(self) -> list[int]:
         """All valid keys (test/diagnostic helper)."""
         return [k for keys in self._keys for k in keys if k is not None]

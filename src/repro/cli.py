@@ -549,6 +549,55 @@ def _cmd_policy(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    # Imported lazily: the analysis package is a self-contained island
+    # and most CLI invocations never need it.
+    from repro.analysis import (Baseline, available_rules, create_rule,
+                                render_json, render_text, run_check)
+
+    if args.list_rules:
+        rows = []
+        for name, cls in available_rules().items():
+            params = ", ".join(f"{p.name}={p.default}" for p in cls.PARAMS)
+            rows.append({"rule": name, "params": params or "-",
+                         "description": cls.DESCRIPTION})
+        print_rows(rows)
+        print("\nuse --rules NAME[:key=value,...][,NAME...] to run a "
+              "subset")
+        return 0
+
+    try:
+        if args.rules:
+            rules = [create_rule(spec.strip())
+                     for spec in args.rules.split(",") if spec.strip()]
+        else:
+            rules = None
+        baseline = Baseline.load(args.baseline)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    paths = tuple(args.paths) if args.paths else None
+    try:
+        if args.fix_baseline:
+            # Regenerate from a baseline-free run so every current
+            # finding is grandfathered, deterministically.
+            report = run_check(paths or ("src/repro",), rules=rules)
+            Baseline.from_findings(report.findings).save(args.baseline)
+            print(f"wrote {args.baseline}: "
+                  f"{len(report.findings)} grandfathered findings")
+            return 0
+        report = run_check(paths or ("src/repro",), rules=rules,
+                           baseline=baseline)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    render = render_json if args.format == "json" else render_text
+    sys.stdout.write(render(report))
+    return 0 if report.ok else 1
+
+
 def _cmd_tables(_args: argparse.Namespace) -> int:
     from repro.experiments import tables
 
@@ -746,6 +795,26 @@ def build_parser() -> argparse.ArgumentParser:
                                     help="one policy's parameter schema")
     p_pol_show.add_argument("name", metavar="NAME")
     p_pol.set_defaults(fn=_cmd_policy)
+
+    p_chk = sub.add_parser("check", help="run the simulator-aware static "
+                                         "analysis pass")
+    p_chk.add_argument("paths", nargs="*",
+                       help="files/directories to scan "
+                            "(default: src/repro)")
+    p_chk.add_argument("--format", choices=("text", "json"),
+                       default="text", help="report format")
+    p_chk.add_argument("--baseline", default=".repro-check-baseline.json",
+                       help="committed baseline of grandfathered findings")
+    p_chk.add_argument("--rules", default="",
+                       metavar="SPEC[,SPEC...]",
+                       help="run only these rules, e.g. "
+                            "'determinism,hot-path:slots=false'")
+    p_chk.add_argument("--fix-baseline", action="store_true",
+                       help="regenerate the baseline from current "
+                            "findings (deterministic, sorted)")
+    p_chk.add_argument("--list-rules", action="store_true",
+                       help="list registered rules and exit")
+    p_chk.set_defaults(fn=_cmd_check)
 
     p_tab = sub.add_parser("tables", help="print Tables 1 and 2")
     p_tab.set_defaults(fn=_cmd_tables)

@@ -309,6 +309,7 @@ class GPUConfig(_SerializableConfig):
         (campaign caches, golden captures) must keep hashing to the same
         content key."""
         data = dataclasses.asdict(self)
+        # repro: key-exempt(tier)
         if data["tier"] == "event":
             del data["tier"]
         return data

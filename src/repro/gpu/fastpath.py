@@ -63,6 +63,7 @@ topologies, with non-LRU replacement, with a nonzero tag-store
 tier — :func:`install_fastpath` returns ``False``.
 """
 
+# repro: hot-path
 from __future__ import annotations
 
 from heapq import heappush
@@ -76,6 +77,7 @@ from repro.noc.hierarchical_xbar import BYPASS_CYCLES, HierarchicalCrossbar
 from repro.noc.topology import LONG_LINK_CYCLES, SHORT_LINK_CYCLES
 
 
+# repro: cold
 def install_fastpath(system) -> bool:
     """Specialize ``system``'s pipeline stage methods in place.
 
@@ -215,6 +217,7 @@ def install_fastpath(system) -> bool:
     # Mode specialization: one bool per program, refreshed by tier_flush().
     mode_private = [False] * len(programs)
 
+    # repro: cold
     def tier_flush() -> None:
         """Re-derive the per-program mode flags.  Runs at install and from
         every reconfiguration (update_bypass), i.e. at each epoch boundary
@@ -392,6 +395,7 @@ def install_fastpath(system) -> bool:
     # behind a slice is fixed by construction (``sg = mc * spm + local``) —
     # its DRAM banks, bus and channel all live in closure cells, so a
     # slice event performs no table indexing at all.
+    # repro: cold
     def make_slice_closures(sg):
         sl = llc_slices[sg]
         tag = tag_ports[sg]
@@ -674,6 +678,7 @@ def install_fastpath(system) -> bool:
         return write_by_sg[req.slice_global](req)
 
     # ------------------------------------------------------------ SM loop
+    # repro: cold
     def make_sm_closures(sm):
         """Build ``sm``'s private (wake, fill, retired) handler triple.
 
@@ -1050,6 +1055,7 @@ def install_fastpath(system) -> bool:
     # ------------------------------------------------------------ install
     original_update_bypass = system.update_bypass
 
+    # repro: cold
     def update_bypass(now: float) -> None:
         original_update_bypass(now)
         tier_flush()

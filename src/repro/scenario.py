@@ -31,7 +31,7 @@ the caller's job (the catalog is not imported here).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Iterable, Optional, Union
 
 from repro.config import PolicyConfig
 from repro.policy import LLCPolicy
@@ -57,7 +57,7 @@ class ProgramSpec:
 
     workload: Workload
     policy: Union[str, PolicyConfig, LLCPolicy, None] = None
-    policy_params: Optional[dict] = None
+    policy_params: Optional[dict[str, object]] = None
 
     def policy_spec(self) -> str:
         """Canonical ``NAME[:k=v,...]`` rendering of the program's policy
@@ -83,7 +83,7 @@ class Scenario:
     programs: list[ProgramSpec] = field(default_factory=list)
     name: Optional[str] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.programs:
             raise ValueError("a Scenario needs at least one ProgramSpec")
         if self.name is None:
@@ -91,8 +91,10 @@ class Scenario:
 
     # ------------------------------------------------------- constructors
     @staticmethod
-    def single(workload: Workload, policy=None,
-               policy_params: Optional[dict] = None) -> "Scenario":
+    def single(workload: Workload,
+               policy: Union[str, PolicyConfig, LLCPolicy, None] = None,
+               policy_params: Optional[dict[str, object]] = None
+               ) -> "Scenario":
         """A one-program scenario (the legacy run shape)."""
         return Scenario([ProgramSpec(workload, policy, policy_params)])
 
@@ -164,7 +166,8 @@ def format_mix_entry(bench: str,
     return f"{bench}:{spec}"
 
 
-def format_mix(entries) -> str:
+def format_mix(entries: Iterable[tuple[str, Optional[PolicyConfig]]]
+               ) -> str:
     """Render ``(benchmark, PolicyConfig | None)`` pairs as mix text.
 
     The canonical inverse of :func:`parse_mix`:

@@ -37,6 +37,7 @@ interchangeable without perturbing FIFO order; the fast-path execution tier
 event tier while halving heap traffic.
 """
 
+# repro: hot-path
 from __future__ import annotations
 
 import heapq
@@ -96,6 +97,8 @@ class Engine:
     #: Compaction threshold: never compact below this many cancellations
     #: (tiny heaps rebuild too often to be worth it).
     COMPACT_MIN_CANCELLED = 64
+
+    __slots__ = ("now", "_heap", "_seq", "_events_processed", "_cancelled")
 
     def __init__(self) -> None:
         self.now: float = 0.0
@@ -214,6 +217,7 @@ class Engine:
                 and self._cancelled * 2 > len(self._heap)):
             self._compact()
 
+    # repro: cold
     def _compact(self) -> None:
         """Drop cancelled events and restore the heap invariant.
 

@@ -18,6 +18,7 @@ updates, no window bookkeeping (windows are derived lazily from
 ``busy_cycles`` snapshots instead of being accumulated per job).
 """
 
+# repro: hot-path
 from __future__ import annotations
 
 

@@ -4,7 +4,7 @@ The ROADMAP's north star is a simulator that "runs as fast as the hardware
 allows" — this module is how that is *measured* rather than assumed.  It
 times fig11-style runs (one benchmark under the shared, private, and
 adaptive LLC policies, plus an adaptive run with per-program LLC counters
-enabled) under **both execution tiers** and reports wall time, engine
+enabled) under **every execution tier** and reports wall time, engine
 events, and events/sec per scenario, then writes the record to
 ``BENCH_hotpath.json`` so every PR has a perf trajectory to beat.
 
@@ -20,14 +20,14 @@ Schema of the written file::
     }
 
 Scenario keys are the LLC policy names for the event tier (``"adaptive"``)
-with a ``[fastpath]`` suffix for the fast-path tier
-(``"adaptive[fastpath]"``); the ``adaptive+counters`` scenario times the
+with a ``[<tier>]`` suffix for the other tiers (``"adaptive[fastpath]"``,
+``"adaptive[batch]"``); the ``adaptive+counters`` scenario times the
 adaptive policy with :meth:`GPUSystem.enable_program_counters` on, the
 instrumented path Scenario-API policies pay.  ``_meta`` is advisory;
 comparison tooling (:func:`compare_bench`) looks only at
 ``events_per_sec`` in the scenario entries, so records written by older
-schema versions (no ``tier``/``samples`` fields, no fastpath scenarios)
-still load and compare.
+schema versions (no ``tier``/``samples`` fields, fewer tiers) still load
+and compare.
 
 Timing methodology: each scenario builds the workload and system outside
 the timed region (trace generation is setup, not simulation) and times
@@ -50,7 +50,7 @@ from typing import Optional, Sequence
 
 MODES = ("shared", "private", "adaptive")
 
-TIERS = ("event", "fastpath")
+TIERS = ("event", "fastpath", "batch")
 
 #: Scenario table: (key, LLC policy, per-program counters enabled).
 SCENARIOS = (
@@ -71,31 +71,43 @@ def scenario_key(name: str, tier: str) -> str:
     return name if tier == "event" else f"{name}[{tier}]"
 
 
-def bench_scenario(abbr: str, mode: str, scale: float, repeat: int = 1,
-                   tier: str = "event", counters: bool = False) -> dict:
-    """Time one ``benchmark/mode`` simulation under one execution tier;
-    returns a schema row."""
+def _system_factory(abbr: str, mode: str, scale: float, tier: str,
+                    counters: bool):
+    """Build-one-system callable for a scenario.  The workload is seeded
+    and deterministic: generate it once and rebuild only the simulated
+    system per attempt (kernel loading copies the access streams, so runs
+    never mutate the trace)."""
     from repro.experiments.runner import _accesses_for, experiment_config
     from repro.gpu.system import GPUSystem
     from repro.workloads.catalog import benchmark
     from repro.workloads.generator import generate_workload
 
     cfg = dataclasses.replace(experiment_config(), tier=tier)
-    # The workload is seeded and deterministic: generate it once and rebuild
-    # only the simulated system per timing attempt (kernel loading copies
-    # the access streams, so runs never mutate the trace).
     workload = generate_workload(benchmark(abbr),
                                  num_ctas=2 * cfg.num_sms,
                                  total_accesses=_accesses_for(abbr, scale),
                                  max_kernels=3)
+
+    def build():
+        system = GPUSystem(cfg, workload, policy=mode)
+        if counters:
+            system.enable_program_counters()
+        return system
+
+    return build
+
+
+def bench_scenario(abbr: str, mode: str, scale: float, repeat: int = 1,
+                   tier: str = "event", counters: bool = False) -> dict:
+    """Time one ``benchmark/mode`` simulation under one execution tier;
+    returns a schema row."""
+    build = _system_factory(abbr, mode, scale, tier, counters)
     samples: list[float] = []
     best_wall: Optional[float] = None
     events = 0
     cycles = 0.0
     for _ in range(max(1, repeat)):
-        system = GPUSystem(cfg, workload, policy=mode)
-        if counters:
-            system.enable_program_counters()
+        system = build()
         t0 = time.perf_counter()
         result = system.run()
         wall = time.perf_counter() - t0
@@ -112,6 +124,28 @@ def bench_scenario(abbr: str, mode: str, scale: float, repeat: int = 1,
         "cycles": cycles,
         "samples": samples,
     }
+
+
+def profile_scenario(abbr: str, mode: str, scale: float,
+                     tier: str = "event", counters: bool = False,
+                     top: int = 25) -> str:
+    """cProfile one scenario run; returns the top-``top`` functions by
+    cumulative time as a formatted table.  Runs outside the timed samples
+    (profiling overhead would poison them), so a profiled bench pays one
+    extra run per scenario."""
+    import cProfile
+    import io
+    import pstats
+
+    system = _system_factory(abbr, mode, scale, tier, counters)()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    system.run()
+    profiler.disable()
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.sort_stats("cumulative").print_stats(top)
+    return buf.getvalue()
 
 
 def run_bench(scale: float, benchmark_abbr: str = DEFAULT_BENCHMARK,
@@ -146,21 +180,67 @@ def run_bench(scale: float, benchmark_abbr: str = DEFAULT_BENCHMARK,
     return out
 
 
-def tier_speedups(data: dict) -> dict[str, float]:
-    """Fastpath-over-event speedup per scenario that was timed under both
-    tiers.  Keys are the bare scenario names; empty when the record holds
-    only one tier (e.g. a pre-tier baseline)."""
+def tier_speedups(data: dict, num_tier: str = "fastpath",
+                  den_tier: str = "event") -> dict[str, float]:
+    """``num_tier``-over-``den_tier`` speedup per scenario that was timed
+    under both tiers.  Keys are the bare scenario names; empty when the
+    record holds only one of the tiers (e.g. a pre-tier baseline)."""
     speedups = {}
     for scenario, row in data.items():
         if scenario.startswith("_") or "[" in scenario:
             continue
-        fast = data.get(scenario_key(scenario, "fastpath"))
-        if fast is None:
+        num = data.get(scenario_key(scenario, num_tier))
+        den = data.get(scenario_key(scenario, den_tier))
+        if num is None or den is None:
             continue
-        base_eps = row["events_per_sec"]
-        if base_eps > 0:
-            speedups[scenario] = fast["events_per_sec"] / base_eps
+        den_eps = den["events_per_sec"]
+        if den_eps > 0:
+            speedups[scenario] = num["events_per_sec"] / den_eps
     return speedups
+
+
+def parse_speedup_gates(spec: str) -> dict[tuple[str, str], float]:
+    """Parse a ``--min-tier-speedup`` value into ``{(num, den): min}``.
+
+    Two grammars::
+
+        1.3                               # legacy: fastpath/event=1.3
+        batch/event=1.6,fastpath/event=1.3
+
+    A bare float keeps the flag's original meaning (gate the fast path
+    against the event tier); the pair form names each ratio explicitly so
+    any tier combination can be gated.  Raises ``ValueError`` on malformed
+    specs or unknown tier names.
+    """
+    spec = spec.strip()
+    if not spec:
+        return {}
+    try:
+        legacy = float(spec)
+    except ValueError:
+        pass
+    else:
+        return {("fastpath", "event"): legacy} if legacy > 0 else {}
+    gates: dict[tuple[str, str], float] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        pair, eq, value = part.partition("=")
+        num, slash, den = pair.partition("/")
+        num = num.strip()
+        den = den.strip()
+        if not (eq and slash and num and den):
+            raise ValueError(
+                f"bad speedup gate {part!r}: expected num/den=min "
+                "(e.g. batch/event=1.6)")
+        for tier in (num, den):
+            if tier not in TIERS:
+                raise ValueError(
+                    f"bad speedup gate {part!r}: unknown tier {tier!r} "
+                    f"(choose from {', '.join(TIERS)})")
+        gates[(num, den)] = float(value)
+    return gates
 
 
 def write_bench(path: str, data: dict) -> None:

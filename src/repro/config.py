@@ -288,8 +288,12 @@ class GPUConfig(_SerializableConfig):
     # --- execution tier ------------------------------------------------------
     # "event" schedules one heap event per pipeline stage boundary;
     # "fastpath" collapses deterministic round trips into closed-form
-    # arithmetic (see repro.gpu.fastpath).  Results are byte-identical by
-    # contract; the tier only changes how fast they are computed.
+    # arithmetic (see repro.gpu.fastpath); "batch" adds struct-of-arrays
+    # request state, numpy-vectorized address decode and a calendar-queue
+    # engine on top of the fastpath closures (see repro.gpu.batchpath),
+    # declining to fastpath when numpy is unavailable or the topology
+    # disqualifies.  Results are byte-identical by contract; the tier only
+    # changes how fast they are computed.
     tier: str = "event"
 
     # ------------------------------------------------------------------ api
@@ -388,5 +392,5 @@ class GPUConfig(_SerializableConfig):
             raise ValueError(f"unknown topology {self.noc.topology!r}")
         if self.cta_scheduler not in ("two_level_rr", "bcs", "dcs"):
             raise ValueError(f"unknown CTA scheduler {self.cta_scheduler!r}")
-        if self.tier not in ("event", "fastpath"):
+        if self.tier not in ("event", "fastpath", "batch"):
             raise ValueError(f"unknown execution tier {self.tier!r}")

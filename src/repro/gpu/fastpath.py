@@ -66,8 +66,6 @@ tier — :func:`install_fastpath` returns ``False``.
 # repro: hot-path
 from __future__ import annotations
 
-from heapq import heappush
-
 from repro.cache.mshr import MSHREntry
 from repro.cache.replacement import LRUPolicy
 from repro.core.modes import LLCMode
@@ -103,8 +101,8 @@ def install_fastpath(system) -> bool:
 
     # ---------------------------------------------------------- constants
     engine = system.engine
-    heap = engine._heap              # rewritten in place by _compact, so
-    #                                  the reference stays valid for the run
+    push_entry = engine.push_entry   # queue representation stays an
+    #                                  engine-private detail
     programs = system.programs
     llc_slices = system.llc_slices
     mcs = system.mcs
@@ -315,8 +313,7 @@ def install_fastpath(system) -> bool:
         arrive = request_network(req, when, req_r_f, req_r_i)
         seq = engine._seq
         engine._seq = seq + 1
-        heappush(heap, (arrive, seq, None, read_by_sg[req.slice_global],
-                        req))
+        push_entry((arrive, seq, None, read_by_sg[req.slice_global], req))
 
     def issue_write(sm, key: int, when: float) -> None:
         req = acquire(sm, key)
@@ -325,8 +322,7 @@ def install_fastpath(system) -> bool:
         arrive = request_network(req, when, req_w_f, req_w_i)
         seq = engine._seq
         engine._seq = seq + 1
-        heappush(heap, (arrive, seq, None, write_by_sg[req.slice_global],
-                        req))
+        push_entry((arrive, seq, None, write_by_sg[req.slice_global], req))
 
     # -------------------------------------------------------------- DRAM
     def dram_access(mc_id: int, now: float, key: int, is_write: bool):
@@ -958,8 +954,8 @@ def install_fastpath(system) -> bool:
                     arrive = t + SHORT
                 seq = engine._seq
                 engine._seq = seq + 1
-                heappush(heap, (arrive, seq, None,
-                                stage_by_sg[slice_global], req))
+                push_entry((arrive, seq, None,
+                            stage_by_sg[slice_global], req))
 
                 if is_write:
                     popleft()

@@ -55,10 +55,17 @@ class CTAGroup:
 
 
 class WarpContext:
-    """One warp's in-order stream position."""
+    """One warp's in-order stream position.
+
+    ``mc_tab``/``sl_tab``/``sg_tab`` are the struct-of-arrays route columns
+    the batch execution tier precomputes per kernel launch (one numpy sweep
+    over ``keys`` decodes every access's memory controller and LLC slice up
+    front — see :mod:`repro.gpu.batchpath`); they stay ``None`` under the
+    event and fastpath tiers, which decode addresses per access.
+    """
 
     __slots__ = ("keys", "writes", "cursor", "waiting_on", "group",
-                 "next_barrier")
+                 "next_barrier", "mc_tab", "sl_tab", "sg_tab")
 
     def __init__(self, keys: list[int], writes: list[bool],
                  group: CTAGroup | None = None):
@@ -69,6 +76,9 @@ class WarpContext:
         self.group = group
         self.next_barrier = (group.interval
                              if group is not None and group.interval else None)
+        self.mc_tab: list[int] | None = None
+        self.sl_tab: list[int] | None = None
+        self.sg_tab: list[int] | None = None
 
     @property
     def exhausted(self) -> bool:

@@ -410,7 +410,17 @@ class GPUSystem:
         # contract (see repro.gpu.fastpath), pinned by the tier-parity suite.
         self.tier = "event"
         self._tier_flush = None
-        if cfg.tier == "fastpath":
+        if cfg.tier == "batch":
+            from repro.gpu.batchpath import install_batchpath
+            from repro.gpu.fastpath import install_fastpath
+            if install_batchpath(self):
+                self.tier = "batch"
+            elif install_fastpath(self):
+                # Decline chain: batch -> fastpath -> event.  A declined
+                # batch system behaves byte-identically to one configured
+                # with the tier it fell back to.
+                self.tier = "fastpath"
+        elif cfg.tier == "fastpath":
             from repro.gpu.fastpath import install_fastpath
             if install_fastpath(self):
                 self.tier = "fastpath"

@@ -1,0 +1,178 @@
+"""The batch-tier install-decline matrix: refuse politely, change nothing.
+
+:func:`~repro.gpu.batchpath.install_batchpath` specializes a system only
+when its shape is inside the vectorized envelope; outside it, the install
+must *decline* — return False, leave the event tier active, and leave the
+system so untouched that its run is byte-identical to a twin system that
+never saw the installer.  One test per documented decline reason:
+
+* numpy not importable (it is an *optional* dependency — pinned by
+  monkeypatching the tier's ``_numpy`` probe, not by uninstalling),
+* non-``HierarchicalCrossbar`` topology,
+* non-LRU replacement anywhere in the L1/LLC tag stores,
+* a nonzero tag-store ``index_shift``,
+* non-uniform set counts across slices (or across L1s),
+* a non-PAE address mapping (the vectorized folds encode the PAE hash),
+* an engine that is not the stock binary-heap ``Engine`` (the tier pushes
+  fully-formed entries into ``engine._heap`` directly).
+
+The numpy and topology cases are reachable without mutating tag stores,
+so they also pin the end-to-end fallback chain: a ``tier="batch"`` config
+silently falls back (to the fast path, then to the event tier) and
+produces byte-identical results.  The other shapes cannot be configured
+today, so they are created by mutating *two identical systems the same
+way* and attempting the install on only one — any state the declined
+installer perturbed would show up as a result divergence between the
+twins.
+"""
+
+import dataclasses
+
+from repro.cache.replacement import FIFOPolicy
+from repro.experiments.campaign import RunSpec, execute_spec
+from repro.experiments.runner import experiment_config
+from repro.gpu import batchpath
+from repro.gpu.batchpath import install_batchpath
+from repro.gpu.system import GPUSystem
+from repro.mem.address_map import PAEMapping
+from repro.sim.engine import Engine
+from repro.workloads.catalog import build
+
+TINY = 0.02
+
+
+def _twin_systems(policy: str = "shared"):
+    """Two independently built, identical event-tier systems."""
+    def make():
+        cfg = experiment_config()  # tier defaults to "event": no install
+        workload = build("VA", total_accesses=2_000, num_ctas=32,
+                         max_kernels=1)
+        return GPUSystem(cfg, workload, policy=policy)
+    return make(), make()
+
+
+def _assert_declined_and_untouched(declined: GPUSystem,
+                                   untouched: GPUSystem) -> None:
+    assert install_batchpath(declined) is False
+    assert declined.tier == "event"
+    assert declined.run().to_dict() == untouched.run().to_dict(), (
+        "a declined install must leave the system byte-identical to one "
+        "that never attempted installation")
+
+
+# ---------------------------------------------------- numpy-absent reason
+def test_decline_without_numpy(monkeypatch):
+    """With numpy unavailable the installer declines before touching the
+    system; the declined twin matches one never offered the tier."""
+    monkeypatch.setattr(batchpath, "_numpy", lambda: None)
+    declined, untouched = _twin_systems()
+    _assert_declined_and_untouched(declined, untouched)
+
+
+def test_numpy_absence_falls_back_to_fastpath_end_to_end(monkeypatch):
+    """A ``tier="batch"`` config on a numpy-less interpreter behaves
+    exactly like a ``tier="fastpath"`` config: the decline chain installs
+    the fast path, and the results are byte-identical to a twin that asked
+    for the fast path outright (which is itself parity-pinned against the
+    event tier)."""
+    monkeypatch.setattr(batchpath, "_numpy", lambda: None)
+    workload = build("VA", total_accesses=2_000, num_ctas=32, max_kernels=1)
+    batch_sys = GPUSystem(experiment_config().replace(tier="batch"),
+                          workload, policy="shared")
+    assert batch_sys.tier == "fastpath", \
+        "batch without numpy must fall back to the fast path"
+    fast_sys = GPUSystem(experiment_config().replace(tier="fastpath"),
+                         workload, policy="shared")
+    assert batch_sys.run().to_dict() == fast_sys.run().to_dict()
+
+
+# ------------------------------------------------- config-reachable reason
+def test_decline_non_hierarchical_crossbar_topology():
+    """A full-crossbar config with tier="batch" falls back all the way to
+    the event tier (the fast path declines off-hxbar too): same spec,
+    same results, tier honest."""
+    noc_full = dataclasses.replace(experiment_config().noc, topology="full")
+    cfg_batch = experiment_config().replace(noc=noc_full, tier="batch")
+    cfg_event = experiment_config().replace(noc=noc_full)
+
+    workload = build("VA", total_accesses=2_000, num_ctas=32, max_kernels=1)
+    system = GPUSystem(cfg_batch, workload, policy="shared")
+    assert system.tier == "event", "batch must decline off-hxbar"
+
+    batch_spec = RunSpec.single("VA", "shared", cfg_batch, scale=TINY)
+    event_spec = RunSpec.single("VA", "shared", cfg_event, scale=TINY)
+    assert execute_spec(batch_spec).to_dict() == \
+        execute_spec(event_spec).to_dict()
+
+
+# ------------------------------------------------- mutation-only reasons
+def test_decline_non_lru_replacement():
+    declined, untouched = _twin_systems()
+    for system in (declined, untouched):
+        store = system.llc_slices[0].store
+        store._policies[0] = FIFOPolicy(store.assoc)
+    _assert_declined_and_untouched(declined, untouched)
+
+
+def test_decline_non_lru_l1_replacement():
+    """The guard covers the L1 tag stores too, not just the LLC."""
+    declined, untouched = _twin_systems()
+    for system in (declined, untouched):
+        store = system.sms[0].l1._store
+        store._policies[0] = FIFOPolicy(store.assoc)
+    _assert_declined_and_untouched(declined, untouched)
+
+
+def test_decline_nonzero_index_shift():
+    declined, untouched = _twin_systems()
+    for system in (declined, untouched):
+        system.llc_slices[0].store.index_shift = 1
+    _assert_declined_and_untouched(declined, untouched)
+
+
+def test_decline_non_uniform_set_counts():
+    declined, untouched = _twin_systems()
+    for system in (declined, untouched):
+        store = system.llc_slices[0].store
+        # Half the sets: indexes stay in range (modulo shrinks), so the
+        # event tier still runs fine — the shape is just non-uniform.
+        store.num_sets //= 2
+    _assert_declined_and_untouched(declined, untouched)
+
+
+class _TracingMapping(PAEMapping):
+    """Behaviourally identical subclass: the exact-type guard must decline
+    it anyway, because the vectorized folds encode PAEMapping's hash and a
+    subclass may override any of the fold methods."""
+
+
+def test_decline_non_pae_mapping_subclass():
+    declined, untouched = _twin_systems()
+    for system in (declined, untouched):
+        system.mapping.__class__ = _TracingMapping
+    _assert_declined_and_untouched(declined, untouched)
+
+
+class _InstrumentedEngine(Engine):
+    """Behaviourally identical subclass: declined because the batch tier
+    bypasses the engine API and pushes into ``_heap`` directly, which is
+    only safe against the stock engine's queue representation."""
+
+    __slots__ = ()  # keep the layout __class__-assignment compatible
+
+
+def test_decline_non_stock_engine_subclass():
+    declined, untouched = _twin_systems()
+    for system in (declined, untouched):
+        system.engine.__class__ = _InstrumentedEngine
+    _assert_declined_and_untouched(declined, untouched)
+
+
+# ----------------------------------------------------------------- control
+def test_unmutated_twin_installs():
+    """The mutation harness itself must not be why installs decline: an
+    untouched twin accepts the batch tier (when numpy is importable)."""
+    import pytest
+    pytest.importorskip("numpy")
+    system, _ = _twin_systems()
+    assert install_batchpath(system) is True

@@ -1,22 +1,24 @@
-"""Tier-parity suite: the fast-path tier must change nothing but speed.
+"""Tier-parity suite: the accelerated tiers must change nothing but speed.
 
 The fast-path execution tier (:mod:`repro.gpu.fastpath`) recomputes the
-event tier's deterministic round trips as closed-form arithmetic, but its
-contract is strict byte-identity: the same ``RunResult.to_dict()`` for the
+event tier's deterministic round trips as closed-form arithmetic, and the
+batch tier (:mod:`repro.gpu.batchpath`) adds struct-of-arrays request
+state with numpy-vectorized launch sweeps on top — but both share the
+same strict contract: byte-identical ``RunResult.to_dict()`` for the
 same spec, down to float bit patterns, because campaign cache keys elide
 the tier (``GPUConfig.to_dict``) and a cached event-tier result must be
-interchangeable with a fresh fast-path run.
+interchangeable with a fresh accelerated run.
 
-Three layers of pinning:
+Three layers of pinning, each applied to every accelerated tier:
 
-* every golden capture re-executed under ``tier="fastpath"`` must equal
+* every golden capture re-executed under the accelerated tier must equal
   the committed event-tier golden byte-for-byte (this includes the
   two-program pair and the adaptive policy's reconfiguration epochs);
 * a *heterogeneous* mix whose interval policies actually transition —
   mode flips force a tier flush mid-run, so this pins the
   stateful-boundary handling, not just the steady state;
 * an installation guard, so the suite can never pass vacuously because
-  the fast path silently declined to install.
+  the accelerated tier silently declined to install.
 """
 
 import dataclasses
@@ -35,47 +37,69 @@ with open(GOLDEN_PATH, encoding="utf-8") as _fh:
 
 TINY = 0.02
 
+#: The accelerated tiers under parity test.  The batch tier needs numpy
+#: for its install probe (it declines cleanly without it — covered by
+#: tests/test_batchpath_decline.py), so its cases skip when numpy is
+#: absent rather than vacuously comparing event vs event.
+ACCEL_TIERS = ("fastpath", "batch")
+
+
+def _needs_numpy(tier: str) -> None:
+    if tier == "batch":
+        pytest.importorskip("numpy")
+
+
+def _tier_spec(spec: RunSpec, tier: str) -> RunSpec:
+    if tier == "event":
+        return spec
+    return dataclasses.replace(spec, cfg=spec.cfg.replace(tier=tier))
+
 
 def _fastpath_spec(spec: RunSpec) -> RunSpec:
-    return dataclasses.replace(spec, cfg=spec.cfg.replace(tier="fastpath"))
+    return _tier_spec(spec, "fastpath")
 
 
-def test_fastpath_installs_on_experiment_config():
+@pytest.mark.parametrize("tier", ACCEL_TIERS)
+def test_accel_tier_installs_on_experiment_config(tier):
     """Guard against vacuous parity: the baseline experiment topology must
-    actually take the fast path (if a refactor makes install_fastpath
+    actually take the accelerated path (if a refactor makes the installer
     decline, every test below would silently compare event vs event)."""
     from repro.experiments.runner import experiment_config
     from repro.gpu.system import GPUSystem
     from repro.workloads.catalog import build
 
-    cfg = experiment_config().replace(tier="fastpath")
+    _needs_numpy(tier)
+    cfg = experiment_config().replace(tier=tier)
     workload = build("VA", total_accesses=2_000, num_ctas=32, max_kernels=1)
     system = GPUSystem(cfg, workload, policy="shared")
-    assert system.tier == "fastpath"
+    assert system.tier == tier
     system.run()
 
 
 def test_event_tier_is_the_default_and_keys_predate_the_tier():
     """Pre-tier serialized specs must keep their historical content keys:
     the default tier is elided from ``GPUConfig.to_dict``, and round-trips
-    preserve an explicit fastpath request."""
+    preserve an explicit accelerated-tier request."""
     key, entry = next(iter(sorted(GOLDEN.items())))
     spec = RunSpec.from_dict(entry["spec"])
     assert spec.cfg.tier == "event"
     assert "tier" not in spec.cfg.to_dict()
     assert spec.cache_key() == key
-    fast = _fastpath_spec(spec)
-    assert RunSpec.from_dict(fast.to_dict()).cfg.tier == "fastpath"
+    for tier in ACCEL_TIERS:
+        accel = _tier_spec(spec, tier)
+        assert RunSpec.from_dict(accel.to_dict()).cfg.tier == tier
 
 
+@pytest.mark.parametrize("tier", ACCEL_TIERS)
 @pytest.mark.parametrize("key", sorted(GOLDEN),
                          ids=[GOLDEN[k]["label"] for k in sorted(GOLDEN)])
-def test_fastpath_reproduces_golden_captures(key):
+def test_accel_tier_reproduces_golden_captures(key, tier):
+    _needs_numpy(tier)
     entry = GOLDEN[key]
-    spec = _fastpath_spec(RunSpec.from_dict(entry["spec"]))
+    spec = _tier_spec(RunSpec.from_dict(entry["spec"]), tier)
     result = execute_spec(spec).to_dict()
     assert result == entry["result"], (
-        f"{entry['label']}: fastpath tier diverged from the event-tier "
+        f"{entry['label']}: {tier} tier diverged from the event-tier "
         f"golden capture")
 
 
@@ -88,17 +112,19 @@ def _hetero_spec(tier: str) -> RunSpec:
                         mode_b="hysteresis",
                         policy_params_b={"interval": 800, "dwell": 1,
                                          "min_samples": 64})
-    return _fastpath_spec(spec) if tier == "fastpath" else spec
+    return _tier_spec(spec, tier)
 
 
-def test_fastpath_matches_event_on_transitioning_hetero_mix():
+@pytest.mark.parametrize("tier", ACCEL_TIERS)
+def test_accel_tier_matches_event_on_transitioning_hetero_mix(tier):
     """Mode transitions flush the tier mid-run (per-program private/shared
-    routing flips under the fast path's feet); a heterogeneous mix where
-    *both* interval controllers fire pins that boundary."""
+    routing flips under the accelerated tier's feet); a heterogeneous mix
+    where *both* interval controllers fire pins that boundary."""
+    _needs_numpy(tier)
     event = execute_spec(_hetero_spec("event"))
-    fast = execute_spec(_hetero_spec("fastpath"))
+    accel = execute_spec(_hetero_spec(tier))
     assert event.transitions >= 2, (
         "parity run went steady-state: pick parameters that transition, "
         "or the flush path is untested")
     assert all(p.transitions >= 1 for p in event.programs)
-    assert fast.to_dict() == event.to_dict()
+    assert accel.to_dict() == event.to_dict()

@@ -58,7 +58,15 @@ SCENARIOS = (
     ("private", "private", False),
     ("adaptive", "adaptive", False),
     ("adaptive+counters", "adaptive", True),
+    ("arrivals", "adaptive", False),
 )
+
+#: Scenarios pinned to the event tier.  Consolidation runs track
+#: per-request latency and admit tenants mid-run, so the accelerated
+#: tiers decline the install — timing them under those tiers would
+#: measure the event tier twice and drag the tier-speedup geomeans
+#: toward 1.0.
+EVENT_ONLY = frozenset({"arrivals"})
 
 #: Default benchmark: VA is a neutral streaming workload whose adaptive run
 #: exercises profiling epochs, transitions, and both organizations.
@@ -72,17 +80,39 @@ def scenario_key(name: str, tier: str) -> str:
 
 
 def _system_factory(abbr: str, mode: str, scale: float, tier: str,
-                    counters: bool):
+                    counters: bool, arrivals: bool = False):
     """Build-one-system callable for a scenario.  The workload is seeded
     and deterministic: generate it once and rebuild only the simulated
     system per attempt (kernel loading copies the access streams, so runs
-    never mutate the trace)."""
+    never mutate the trace).
+
+    ``arrivals`` builds the consolidation scenario instead: three tenants
+    running ``abbr`` with staggered Poisson admissions and per-request
+    latency tracking — the event-tier-only serving path.
+    """
     from repro.experiments.runner import _accesses_for, experiment_config
     from repro.gpu.system import GPUSystem
     from repro.workloads.catalog import benchmark
     from repro.workloads.generator import generate_workload
 
     cfg = dataclasses.replace(experiment_config(), tier=tier)
+    if arrivals:
+        from repro.consolidate.arrivals import arrival_times
+        from repro.scenario import ProgramSpec, Scenario
+        from repro.workloads.multiprogram import make_mix
+
+        mp = make_mix((abbr, abbr, abbr),
+                      total_accesses=_accesses_for(abbr, scale),
+                      num_ctas=2 * cfg.num_sms, max_kernels=1)
+        times = arrival_times("poisson:gap=1500", 3, 0)
+        scenario = Scenario([ProgramSpec(w, mode) for w in mp.programs],
+                            arrival_times=times, track_latency=True)
+
+        def build_consolidation():
+            return GPUSystem(cfg, scenario)
+
+        return build_consolidation
+
     workload = generate_workload(benchmark(abbr),
                                  num_ctas=2 * cfg.num_sms,
                                  total_accesses=_accesses_for(abbr, scale),
@@ -98,10 +128,12 @@ def _system_factory(abbr: str, mode: str, scale: float, tier: str,
 
 
 def bench_scenario(abbr: str, mode: str, scale: float, repeat: int = 1,
-                   tier: str = "event", counters: bool = False) -> dict:
+                   tier: str = "event", counters: bool = False,
+                   arrivals: bool = False) -> dict:
     """Time one ``benchmark/mode`` simulation under one execution tier;
     returns a schema row."""
-    build = _system_factory(abbr, mode, scale, tier, counters)
+    build = _system_factory(abbr, mode, scale, tier, counters,
+                            arrivals=arrivals)
     samples: list[float] = []
     best_wall: Optional[float] = None
     events = 0
@@ -128,7 +160,7 @@ def bench_scenario(abbr: str, mode: str, scale: float, repeat: int = 1,
 
 def profile_scenario(abbr: str, mode: str, scale: float,
                      tier: str = "event", counters: bool = False,
-                     top: int = 25) -> str:
+                     arrivals: bool = False, top: int = 25) -> str:
     """cProfile one scenario run; returns the top-``top`` functions by
     cumulative time as a formatted table.  Runs outside the timed samples
     (profiling overhead would poison them), so a profiled bench pays one
@@ -137,7 +169,8 @@ def profile_scenario(abbr: str, mode: str, scale: float,
     import io
     import pstats
 
-    system = _system_factory(abbr, mode, scale, tier, counters)()
+    system = _system_factory(abbr, mode, scale, tier, counters,
+                             arrivals=arrivals)()
     profiler = cProfile.Profile()
     profiler.enable()
     system.run()
@@ -166,10 +199,13 @@ def run_bench(scale: float, benchmark_abbr: str = DEFAULT_BENCHMARK,
     for name, mode, counters in SCENARIOS:
         if modes is not None and mode not in modes:
             continue
-        for tier in tiers:
+        scenario_tiers = tuple(t for t in tiers if t == "event") \
+            if name in EVENT_ONLY else tiers
+        for tier in scenario_tiers:
             out[scenario_key(name, tier)] = bench_scenario(
                 benchmark_abbr, mode, scale, repeat,
-                tier=tier, counters=counters)
+                tier=tier, counters=counters,
+                arrivals=name in EVENT_ONLY)
     out["_meta"] = {
         "benchmark": benchmark_abbr,
         "scale": scale,

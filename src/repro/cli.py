@@ -124,9 +124,6 @@ def _parse_mix_arg(text: str) -> list[tuple[str, PolicyConfig]]:
     registry at parse time."""
     try:
         entries = parse_mix(text)
-        if not 1 <= len(entries) <= 2:
-            raise ValueError(
-                f"a mix runs one or two programs, got {len(entries)}")
         for abbr, policy in entries:
             if abbr not in BENCHMARKS:
                 raise ValueError(f"unknown benchmark {abbr!r} in mix "
@@ -140,21 +137,62 @@ def _parse_mix_arg(text: str) -> list[tuple[str, PolicyConfig]]:
     return entries
 
 
+def _parse_arrivals_arg(text: str) -> str:
+    """``--arrivals NAME[:k=v,...]`` values, validated against the arrival
+    registry at parse time (the spec string itself is what travels)."""
+    from repro.consolidate.arrivals import create_arrivals
+
+    try:
+        create_arrivals(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return text
+
+
+def _parse_placement_arg(text: str) -> str:
+    """``--placement NAME[:k=v,...]`` values, validated against the
+    placement registry at parse time."""
+    from repro.consolidate.placement import create_placement
+
+    try:
+        create_placement(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return text
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.policy is not None and args.mode is not None:
         # Mirror GPUSystem: the same conflict is a hard error there.
         print("error: pass either --policy or the deprecated --mode, "
               "not both", file=sys.stderr)
         return 2
-    if (args.benchmark is None) == (args.mix is None):
-        print("error: pass a benchmark or --mix, not both (and not "
-              "neither)", file=sys.stderr)
+    sources = sum(x is not None
+                  for x in (args.benchmark, args.mix, args.tenants))
+    if sources != 1:
+        print("error: pass exactly one of a benchmark, --mix, or "
+              "--tenants", file=sys.stderr)
         return 2
     default_policy = args.policy if args.policy is not None \
         else PolicyConfig.of(args.mode or "adaptive")
     campaign = _campaign_from(args)
+    if args.tenants is not None:
+        # Seeded Monte Carlo mix: sample one benchmark per tenant from
+        # the catalog categories, then run it like an explicit --mix.
+        from repro.consolidate.mixgen import sample_mix
+
+        try:
+            abbrs = sample_mix(args.tenants, seed=args.seed)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        args.mix = [(abbr, None) for abbr in abbrs]
     if args.mix is not None:
         return _run_mix(args, campaign, default_policy)
+    if args.arrivals is not None or args.placement is not None:
+        print("error: --arrivals/--placement need a multi-program run "
+              "(--mix or --tenants)", file=sys.stderr)
+        return 2
     policy = _scaled_policy(default_policy, args.scale)
     res = campaign.result(RunSpec.single(args.benchmark, policy,
                                          scale=args.scale))
@@ -179,7 +217,9 @@ def _run_mix(args: argparse.Namespace, campaign: Campaign,
     # therefore the content key) of a mix is the same no matter which
     # surface declared it.
     spec = spec_from_mix(args.mix, scale=args.scale,
-                         default_policy=default_policy)
+                         default_policy=default_policy,
+                         arrivals=args.arrivals, placement=args.placement,
+                         seed=args.seed)
     entries = spec.program_entries()
     res = campaign.result(spec)
     print(f"{res.workload} [{res.mode}]: IPC {res.ipc:.2f} over "
@@ -197,7 +237,20 @@ def _run_mix(args: argparse.Namespace, campaign: Campaign,
                 # would print a fabricated 0 (the aggregate line below
                 # carries the real total).
                 line += f", {stats.transitions} transitions"
+            if stats.admitted_at is not None:
+                line += f", admitted @{stats.admitted_at:.0f}"
+            if stats.latency is not None:
+                line += (f", latency p50/p95/p99 "
+                         f"{stats.latency['p50']:.0f}/"
+                         f"{stats.latency['p95']:.0f}/"
+                         f"{stats.latency['p99']:.0f}")
             print(line)
+        if any(s.latency is not None for s in res.programs):
+            from repro.consolidate.metrics import jains_fairness
+
+            fairness = jains_fairness([s.ipc for s in res.programs])
+            print(f"  fairness: Jain's index {fairness:.3f} over "
+                  f"per-tenant IPC")
     else:
         # One-entry mix: a single-program run, reported as one program.
         (abbr, policy_spec), = entries
@@ -210,10 +263,10 @@ def _run_mix(args: argparse.Namespace, campaign: Campaign,
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.bench import (SCENARIOS, TIERS, compare_bench, load_bench,
-                             parse_speedup_gates, profile_scenario,
-                             run_bench, scenario_key, tier_speedups,
-                             write_bench)
+    from repro.bench import (EVENT_ONLY, SCENARIOS, TIERS, compare_bench,
+                             load_bench, parse_speedup_gates,
+                             profile_scenario, run_bench, scenario_key,
+                             tier_speedups, write_bench)
 
     tiers = TIERS if args.tier in ("both", "all") else (args.tier,)
     try:
@@ -237,10 +290,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         profile_path += ".profile.txt"
         sections = []
         for name, mode, counters in SCENARIOS:
-            for tier in tiers:
+            scenario_tiers = tuple(t for t in tiers if t == "event") \
+                if name in EVENT_ONLY else tiers
+            for tier in scenario_tiers:
                 key = scenario_key(name, tier)
                 table = profile_scenario(args.benchmark, mode, args.scale,
                                          tier=tier, counters=counters,
+                                         arrivals=name in EVENT_ONLY,
                                          top=args.profile_top)
                 sections.append(f"==== {key} ====\n{table}")
         with open(profile_path, "w", encoding="utf-8") as fh:
@@ -516,7 +572,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         cfg = ServiceConfig(host=args.host, port=args.port,
                             workers=args.workers, cache_dir=args.cache_dir,
-                            quota=args.quota, max_queue=args.max_queue)
+                            quota=args.quota, max_queue=args.max_queue,
+                            job_ttl=args.job_ttl)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -681,10 +738,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("benchmark", nargs="?", choices=ALL_ABBRS,
                        help="catalog benchmark (omit when using --mix)")
     p_run.add_argument("--mix", type=_parse_mix_arg, default=None,
-                       metavar="BENCH[:POLICY]+BENCH[:POLICY]",
-                       help="two-program mix with per-program policies, "
+                       metavar="BENCH[:POLICY]+BENCH[:POLICY]+...",
+                       help="multi-program mix with per-program policies, "
                             "e.g. GEMM:paper-adaptive+SN:static-private; "
-                            "an entry without a policy uses --policy")
+                            "an entry without a policy uses --policy; "
+                            "three or more entries run as an N-tenant "
+                            "consolidation")
+    p_run.add_argument("--tenants", type=int, default=None, metavar="N",
+                       help="sample an N-tenant mix from the catalog "
+                            "categories (seeded by --seed) instead of "
+                            "naming one with --mix")
+    p_run.add_argument("--arrivals", type=_parse_arrivals_arg, default=None,
+                       metavar="NAME[:k=v,...]",
+                       help="arrival process for a multi-program run "
+                            "(closed/poisson/diurnal/bursty; "
+                            "default: closed, everyone at time zero)")
+    p_run.add_argument("--placement", type=_parse_placement_arg,
+                       default=None, metavar="NAME[:k=v,...]",
+                       help="SM-placement policy for a multi-program run "
+                            "(cluster-split/striped/fill-first/"
+                            "dedicated-cluster; default: cluster-split, "
+                            "the Figure 9 split)")
+    p_run.add_argument("--seed", type=int, default=0, metavar="N",
+                       help="RNG seed for --tenants sampling and the "
+                            "arrival process (default: 0)")
     p_run.add_argument("--policy", type=_parse_policy_arg, default=None,
                        metavar="NAME[:k=v,...]",
                        help="any registered LLC policy with parameters "
@@ -825,6 +902,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--quota", type=int, default=0, metavar="N",
                        help="max in-flight jobs per client, 429 past it "
                             "(default: 0 = unlimited)")
+    p_srv.add_argument("--job-ttl", type=float, default=0.0, metavar="S",
+                       help="age terminal job records (done/error/"
+                            "cancelled) out of the job table after S "
+                            "seconds; results stay in the store "
+                            "(default: 0, keep forever)")
     p_srv.add_argument("--max-queue", type=int, default=1024, metavar="N",
                        help="max queued jobs overall, 503 past it "
                             "(default: 1024)")

@@ -215,6 +215,9 @@ class ServiceConfig(_SerializableConfig):
     :class:`~repro.experiments.store.ResultStore` directory — results
     survive server restarts and are interchangeable with a local
     ``--cache-dir`` campaign's (None keeps results in memory only).
+    ``job_ttl`` ages terminal job records (done/error/cancelled) out of
+    the in-memory job table after that many seconds — results stay in
+    the store; 0 keeps records forever (the historical behavior).
     """
 
     host: str = "127.0.0.1"
@@ -223,6 +226,7 @@ class ServiceConfig(_SerializableConfig):
     cache_dir: Optional[str] = None
     quota: int = 0
     max_queue: int = 1024
+    job_ttl: float = 0.0
 
     def __post_init__(self):
         if self.workers < 1:
@@ -232,6 +236,9 @@ class ServiceConfig(_SerializableConfig):
         if self.max_queue < 1:
             raise ValueError(
                 f"max_queue must be >= 1, got {self.max_queue}")
+        if self.job_ttl < 0:
+            raise ValueError(
+                f"job_ttl must be >= 0, got {self.job_ttl}")
 
     @classmethod
     def from_dict(cls, data: dict) -> "ServiceConfig":

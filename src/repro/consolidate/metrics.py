@@ -1,0 +1,84 @@
+"""Per-tenant consolidation metrics.
+
+Latency percentiles use the nearest-rank definition (ceil(p*N)-th order
+statistic) — no interpolation, so every reported value is a latency that
+actually occurred and the result is exactly reproducible from the sample
+multiset.  Slowdown/weighted-speedup follow the multiprogram literature
+(and the repo's existing STP metric); Jain's index maps any vector of
+per-tenant goods onto [1/N, 1] where 1 is perfectly fair.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+#: The tail percentiles every consolidation report carries.
+PERCENTILES = (50, 95, 99)
+
+
+def latency_percentiles(samples: Sequence[float]) -> Dict[str, float]:
+    """Nearest-rank p50/p95/p99 of ``samples`` plus the sample count.
+
+    Empty input yields a zero-count dict with zero percentiles (a tenant
+    admitted too late to issue any requests still gets a row).
+    """
+    out: Dict[str, float] = {"count": float(len(samples))}
+    if not samples:
+        for p in PERCENTILES:
+            out[f"p{p}"] = 0.0
+        return out
+    ordered = sorted(samples)
+    n = len(ordered)
+    for p in PERCENTILES:
+        rank = max(1, math.ceil(n * p / 100.0))
+        out[f"p{p}"] = ordered[rank - 1]
+    return out
+
+
+def slowdown(solo_ipc: float, shared_ipc: float) -> float:
+    """How much slower a tenant runs consolidated than alone (>= 1 is
+    slower; < 1 means it sped up, e.g. from a private-mode win)."""
+    if shared_ipc <= 0:
+        raise ValueError(f"shared IPC must be > 0, got {shared_ipc}")
+    if solo_ipc <= 0:
+        raise ValueError(f"solo IPC must be > 0, got {solo_ipc}")
+    return solo_ipc / shared_ipc
+
+
+def weighted_speedup(ipcs: Sequence[float],
+                     solo_ipcs: Sequence[float]) -> float:
+    """Sum of per-tenant normalized progress (system throughput, STP).
+
+    ``N`` means no interference at all; ``1`` means the machine did one
+    tenant's worth of work in total.
+    """
+    if len(ipcs) != len(solo_ipcs):
+        raise ValueError(
+            f"got {len(ipcs)} consolidated IPCs vs {len(solo_ipcs)} solo")
+    if not ipcs:
+        raise ValueError("need at least one tenant")
+    total = 0.0
+    for ipc, solo in zip(ipcs, solo_ipcs):
+        if solo <= 0:
+            raise ValueError(f"solo IPC must be > 0, got {solo}")
+        total += ipc / solo
+    return total
+
+
+def jains_fairness(values: Sequence[float]) -> float:
+    """Jain's fairness index of a per-tenant goods vector.
+
+    ``(sum x)^2 / (N * sum x^2)`` — 1.0 when every tenant gets the same,
+    1/N when one tenant gets everything.  All-zero input is defined as
+    perfectly fair (everyone equally starved).
+    """
+    if not values:
+        raise ValueError("need at least one tenant")
+    if any(v < 0 for v in values):
+        raise ValueError("fairness is defined over non-negative values")
+    total = math.fsum(values)
+    squares = math.fsum(v * v for v in values)
+    if squares == 0.0:
+        return 1.0
+    return (total * total) / (len(values) * squares)

@@ -1,0 +1,52 @@
+"""Seeded Monte Carlo mix sampling over the workload catalog.
+
+The fig15 pair study hand-picks four shared+private pairs.  Consolidation
+experiments instead sample tenant mixes from the full 17-benchmark catalog,
+stratified by the paper's behaviour categories so a mix is not accidentally
+all-shared or all-private: categories are drawn round-robin in a seeded
+random order, then a benchmark is drawn uniformly within the category.
+
+Sampling is pure and deterministic — ``sample_mix(n, seed)`` is a function
+of its arguments only, so the CLI, the figure driver and CI all derive the
+same mix from the same seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.workloads.catalog import CATEGORIES
+
+
+def sample_mix(n_tenants: int, seed: int,
+               categories: Optional[Sequence[str]] = None) -> List[str]:
+    """Sample ``n_tenants`` benchmark abbreviations, category-stratified.
+
+    Args:
+        n_tenants: number of tenants to draw (>= 1).  Benchmarks may
+            repeat once every category has been visited.
+        seed: RNG seed; equal seeds give equal mixes.
+        categories: catalog categories to stratify over (default: all, in
+            catalog order).
+
+    Raises:
+        ValueError: on ``n_tenants < 1`` or an unknown category.
+    """
+    if n_tenants < 1:
+        raise ValueError(f"n_tenants must be >= 1, got {n_tenants}")
+    pool = list(categories) if categories is not None else list(CATEGORIES)
+    unknown = [c for c in pool if c not in CATEGORIES]
+    if unknown:
+        raise ValueError(f"unknown categories {unknown} "
+                         f"(available: {list(CATEGORIES)})")
+    if not pool:
+        raise ValueError("no categories to sample from")
+    rng = random.Random(seed)
+    rotation = list(pool)
+    rng.shuffle(rotation)
+    out: List[str] = []
+    for i in range(n_tenants):
+        category = rotation[i % len(rotation)]
+        out.append(rng.choice(CATEGORIES[category]))
+    return out

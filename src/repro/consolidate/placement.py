@@ -1,0 +1,230 @@
+"""SM-placement policies: which tenant owns which SM.
+
+The Figure 9 experiment hard-codes one placement — split every cluster in
+half between the two co-runners — as ``program_of_sm`` inside
+:class:`~repro.workloads.multiprogram.MultiProgramWorkload`.  This module
+lifts that rule into a registry of placement policies sharing the LLC
+policies' ``NAME[:k=v,...]`` spec grammar, so consolidation experiments can
+sweep placement the way they sweep policy.
+
+A placement maps ``(num_sms, sms_per_cluster, n_tenants)`` to a per-SM
+tenant assignment.  ``cluster-split`` reproduces the paper's rule exactly
+(byte-identical SM sets for two tenants, odd cluster widths included);
+``striped``, ``dedicated-cluster`` and ``fill-first`` trade cluster-level
+locality against spatial isolation in different ways.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+from repro.config import PolicyConfig
+from repro.policy.base import PolicyParam
+
+
+class PlacementPolicy:
+    """Base class for registered SM-placement policies.
+
+    Subclasses set ``NAME`` (the registry key), optionally ``ALIASES`` and
+    ``PARAMS`` (the same :class:`~repro.policy.base.PolicyParam` schema the
+    LLC policies declare), and implement :meth:`assign`.
+    """
+
+    #: Canonical registered name.
+    NAME: str = ""
+    #: Alternate names that resolve to this placement.
+    ALIASES: tuple[str, ...] = ()
+    #: One-line description for listings.
+    DESCRIPTION: str = ""
+    #: Declared parameter schema.
+    PARAMS: tuple[PolicyParam, ...] = ()
+
+    def __init__(self, **params: object) -> None:
+        schema = {p.name: p for p in self.PARAMS}
+        unknown = set(params) - set(schema)
+        if unknown:
+            raise ValueError(
+                f"placement {self.NAME!r} has no parameters "
+                f"{sorted(unknown)} (available: {sorted(schema) or 'none'})")
+        self.params: Dict[str, object] = {
+            name: schema[name].coerce(value)
+            for name, value in params.items()}
+        for name, spec in schema.items():
+            self.params.setdefault(name, spec.default)
+
+    def assign(self, num_sms: int, sms_per_cluster: int,
+               n_tenants: int) -> List[int]:
+        """Tenant id for every SM, as a list indexed by ``sm_id``.
+
+        Raises:
+            ValueError: when the geometry cannot give every tenant at
+                least one SM under this placement.
+        """
+        raise NotImplementedError
+
+    def spec(self) -> str:
+        """Canonical ``NAME[:k=v,...]`` rendering of this instance,
+        defaults elided (the grammar's normal form)."""
+        schema = {p.name: p for p in self.PARAMS}
+        explicit = {k: v for k, v in self.params.items()
+                    if schema[k].default != v}
+        return PolicyConfig.of(self.NAME, explicit).spec()
+
+    def _check_coverage(self, assignment: List[int],
+                        n_tenants: int) -> List[int]:
+        seen = set(assignment)
+        missing = [t for t in range(n_tenants) if t not in seen]
+        if missing:
+            raise ValueError(
+                f"placement {self.NAME!r} leaves tenants {missing} with no "
+                f"SMs ({len(assignment)} SMs, {n_tenants} tenants)")
+        return assignment
+
+
+def cluster_split_boundaries(sms_per_cluster: int,
+                             n_tenants: int) -> List[int]:
+    """Per-cluster tenant boundaries: tenant ``t`` owns in-cluster
+    positions ``[b[t], b[t+1])``.  For two tenants the single boundary is
+    ``sms_per_cluster // 2`` — exactly the paper's Figure 9 rule, odd
+    cluster widths included."""
+    return [t * sms_per_cluster // n_tenants for t in range(n_tenants + 1)]
+
+
+class ClusterSplitPlacement(PlacementPolicy):
+    """Split every cluster between the tenants (the Figure 9 rule)."""
+
+    NAME = "cluster-split"
+    DESCRIPTION = ("every cluster is divided between all tenants; "
+                   "reproduces the paper's Figure 9 rule for two tenants")
+
+    def assign(self, num_sms: int, sms_per_cluster: int,
+               n_tenants: int) -> List[int]:
+        if sms_per_cluster < n_tenants:
+            raise ValueError(
+                f"cluster-split needs sms_per_cluster >= tenants "
+                f"({sms_per_cluster} < {n_tenants})")
+        bounds = cluster_split_boundaries(sms_per_cluster, n_tenants)
+        position_owner: List[int] = []
+        tenant = 0
+        for pos in range(sms_per_cluster):
+            while pos >= bounds[tenant + 1]:
+                tenant += 1
+            position_owner.append(tenant)
+        out = [position_owner[sm % sms_per_cluster] for sm in range(num_sms)]
+        return self._check_coverage(out, n_tenants)
+
+
+class StripedPlacement(PlacementPolicy):
+    """Round-robin SMs across tenants (maximal interleaving)."""
+
+    NAME = "striped"
+    DESCRIPTION = "SM i belongs to tenant (i + phase) mod N"
+    PARAMS = (
+        PolicyParam("phase", int, 0,
+                    "rotation offset applied before the modulo"),
+    )
+
+    def assign(self, num_sms: int, sms_per_cluster: int,
+               n_tenants: int) -> List[int]:
+        phase = self.params["phase"]
+        assert isinstance(phase, int)
+        out = [(sm + phase) % n_tenants for sm in range(num_sms)]
+        return self._check_coverage(out, n_tenants)
+
+
+class FillFirstPlacement(PlacementPolicy):
+    """Contiguous SM blocks: tenant t owns SMs [t*S/N, (t+1)*S/N)."""
+
+    NAME = "fill-first"
+    ALIASES = ("contiguous",)
+    DESCRIPTION = "each tenant gets one contiguous block of SM ids"
+
+    def assign(self, num_sms: int, sms_per_cluster: int,
+               n_tenants: int) -> List[int]:
+        if num_sms < n_tenants:
+            raise ValueError(
+                f"fill-first needs num_sms >= tenants "
+                f"({num_sms} < {n_tenants})")
+        out: List[int] = []
+        for tenant in range(n_tenants):
+            hi = (tenant + 1) * num_sms // n_tenants
+            out.extend([tenant] * (hi - len(out)))
+        return self._check_coverage(out, n_tenants)
+
+
+class DedicatedClusterPlacement(PlacementPolicy):
+    """Whole clusters per tenant (spatial isolation at cluster grain)."""
+
+    NAME = "dedicated-cluster"
+    DESCRIPTION = "tenants own whole clusters; needs clusters >= tenants"
+
+    def assign(self, num_sms: int, sms_per_cluster: int,
+               n_tenants: int) -> List[int]:
+        num_clusters = num_sms // sms_per_cluster
+        if num_clusters < n_tenants:
+            raise ValueError(
+                f"dedicated-cluster needs num_clusters >= tenants "
+                f"({num_clusters} < {n_tenants})")
+        cluster_owner: List[int] = []
+        for tenant in range(n_tenants):
+            hi = (tenant + 1) * num_clusters // n_tenants
+            cluster_owner.extend([tenant] * (hi - len(cluster_owner)))
+        out = [cluster_owner[sm // sms_per_cluster] for sm in range(num_sms)]
+        return self._check_coverage(out, n_tenants)
+
+
+_REGISTRY: Dict[str, Type[PlacementPolicy]] = {}
+
+DEFAULT_PLACEMENT = ClusterSplitPlacement.NAME
+
+
+def register_placement(cls: Type[PlacementPolicy]) -> Type[PlacementPolicy]:
+    """Register a placement class under its NAME and ALIASES."""
+    for name in (cls.NAME, *cls.ALIASES):
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing is not cls:
+            raise ValueError(f"placement name {name!r} already registered "
+                             f"by {existing.NAME!r}")
+        _REGISTRY[name] = cls
+    return cls
+
+
+for _cls in (ClusterSplitPlacement, StripedPlacement, FillFirstPlacement,
+             DedicatedClusterPlacement):
+    register_placement(_cls)
+
+
+def available_placements() -> Dict[str, Type[PlacementPolicy]]:
+    """Canonical name → class for every registered placement."""
+    return {cls.NAME: cls for cls in _REGISTRY.values()}
+
+
+def create_placement(spec: Optional[str]) -> PlacementPolicy:
+    """Instantiate a placement from ``NAME[:k=v,...]`` spec text.
+
+    ``None`` or ``""`` means the default (``cluster-split``).
+
+    Raises:
+        ValueError: unknown name or a parameter outside the schema.
+    """
+    if not spec:
+        spec = DEFAULT_PLACEMENT
+    config = PolicyConfig.from_spec(spec)
+    cls = _REGISTRY.get(config.name)
+    if cls is None:
+        raise ValueError(
+            f"unknown placement {config.name!r} "
+            f"(available: {sorted(available_placements())})")
+    return cls(**config.params_dict())
+
+
+def canonical_placement_spec(spec: Optional[str]) -> Optional[str]:
+    """Canonical spec text, or ``None`` when ``spec`` names the default
+    placement with default parameters (the elide-at-default convention the
+    campaign cache keys rely on)."""
+    if not spec:
+        return None
+    rendered = create_placement(spec).spec()
+    if rendered == DEFAULT_PLACEMENT:
+        return None
+    return rendered

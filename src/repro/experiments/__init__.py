@@ -41,6 +41,7 @@ FIGURE_MODULES = {
     "14": "repro.experiments.fig14_noc_energy",
     "15": "repro.experiments.fig15_multiprogram",
     "16": "repro.experiments.fig16_sensitivity",
+    "consolidation": "repro.experiments.figx_consolidation",
     "mixed_policy": "repro.experiments.figx_mixed_policy",
     "policy_shootout": "repro.experiments.figx_policy_shootout",
 }

@@ -46,7 +46,11 @@ from repro.policy import canonical_policy_params
 #: v4: the execution-tier flag — ``GPUConfig.tier`` joins the spec content
 #: key (elided at its "event" default, so event-tier keys are unchanged);
 #: the bump retires any v3 record written while the tier field was unknown.
-CACHE_VERSION = 4
+#: v5: the consolidation subsystem — specs gain ``extra``/``arrivals``/
+#: ``placement``/``seed`` (all elided at their legacy defaults, so legacy
+#: keys are unchanged) and consolidation results carry occupancy timelines
+#: and per-tenant latency payloads v4 readers never wrote.
+CACHE_VERSION = 5
 
 
 def _canonical_policy_params(mode: str, params) -> tuple:
@@ -101,6 +105,19 @@ class RunSpec:
             (requires ``pair_with``; ``None`` = both programs run
             ``mode``).
         policy_params_b: program B's policy parameters.
+        extra: tenants three and up for N-tenant consolidation runs —
+            ``(benchmark, mode, ((key, value), ...))`` triples extending
+            a two-program mix (requires ``pair_with``).
+        arrivals: ``NAME[:k=v,...]`` spec of a registered arrival process
+            (:mod:`repro.consolidate.arrivals`); ``None`` = closed system,
+            everyone present at time zero.  The default ``closed`` spec
+            canonicalizes to ``None`` so it keeps the legacy key.
+        placement: ``NAME[:k=v,...]`` spec of a registered SM-placement
+            policy (:mod:`repro.consolidate.placement`); ``None`` = the
+            Figure 9 cluster-split, and the default ``cluster-split``
+            spec canonicalizes to ``None``.
+        seed: RNG seed for the arrival process.  Canonicalized to 0 when
+            ``arrivals`` is ``None`` (a closed system draws nothing).
     """
 
     benchmark: str
@@ -115,11 +132,16 @@ class RunSpec:
     policy_params: tuple = ()
     mode_b: Optional[str] = None
     policy_params_b: tuple = ()
+    extra: tuple = ()
+    arrivals: Optional[str] = None
+    placement: Optional[str] = None
+    seed: int = 0
 
     def __post_init__(self):
         object.__setattr__(self, "policy_params",
                            _canonical_policy_params(self.mode,
                                                     self.policy_params))
+        self._canonicalize_consolidation()
         if self.mode_b is None:
             if self.policy_params_b:
                 raise ValueError("policy_params_b requires mode_b")
@@ -135,6 +157,35 @@ class RunSpec:
             # so it hashes (and caches) identically.
             object.__setattr__(self, "mode_b", None)
             object.__setattr__(self, "policy_params_b", ())
+
+    def _canonicalize_consolidation(self) -> None:
+        if self.extra:
+            if self.pair_with is None:
+                raise ValueError("extra programs require pair_with "
+                                 "(tenants three and up extend a mix)")
+            canon = []
+            for entry in self.extra:
+                abbr, mode_x, params_x = entry
+                canon.append((abbr, mode_x,
+                              _canonical_policy_params(mode_x, params_x)))
+            object.__setattr__(self, "extra", tuple(canon))
+        if self.placement is not None:
+            from repro.consolidate.placement import canonical_placement_spec
+
+            object.__setattr__(self, "placement",
+                               canonical_placement_spec(self.placement))
+        if self.arrivals is not None:
+            from repro.consolidate.arrivals import canonical_arrivals_spec
+
+            object.__setattr__(self, "arrivals",
+                               canonical_arrivals_spec(self.arrivals))
+        if (not isinstance(self.seed, int) or isinstance(self.seed, bool)
+                or self.seed < 0):
+            raise ValueError("seed must be a nonnegative integer")
+        if self.arrivals is None and self.seed:
+            # A closed system draws nothing from the RNG: canonicalize the
+            # seed away so the spec hashes like the legacy spec it is.
+            object.__setattr__(self, "seed", 0)
 
     # ------------------------------------------------------- constructors
     @staticmethod
@@ -161,18 +212,30 @@ class RunSpec:
              max_kernels: int = 1,
              policy_params: Optional[dict] = None,
              mode_b=None,
-             policy_params_b: Optional[dict] = None) -> "RunSpec":
+             policy_params_b: Optional[dict] = None,
+             extra: tuple = (),
+             arrivals: Optional[str] = None,
+             placement: Optional[str] = None,
+             seed: int = 0) -> "RunSpec":
         """A two-program mix (the :func:`run_pair` shape).
 
         ``mode_b`` gives program B its own policy (the
         :func:`~repro.experiments.runner.run_mix` shape); omitted, both
-        programs run ``mode`` exactly as before.
+        programs run ``mode`` exactly as before.  ``extra`` appends
+        tenants three and up as ``(benchmark, policy, params_dict)``
+        triples, and ``arrivals``/``placement``/``seed`` attach the
+        consolidation fields (see the class docstring).
         """
         from repro.experiments.runner import experiment_config
 
         mode, policy_params = _split_policy(mode, policy_params)
         if mode_b is not None:
             mode_b, policy_params_b = _split_policy(mode_b, policy_params_b)
+        canon_extra = []
+        for abbr_x, mode_x, params_x in extra:
+            mode_x, params_x = _split_policy(mode_x, params_x)
+            canon_extra.append((abbr_x, mode_x,
+                                tuple((params_x or {}).items())))
         return RunSpec(benchmark=abbr_a, mode=mode,
                        cfg=cfg if cfg is not None else experiment_config(),
                        scale=scale, pair_with=abbr_b,
@@ -180,7 +243,9 @@ class RunSpec:
                        policy_params=tuple((policy_params or {}).items()),
                        mode_b=mode_b,
                        policy_params_b=tuple(
-                           (policy_params_b or {}).items()))
+                           (policy_params_b or {}).items()),
+                       extra=tuple(canon_extra),
+                       arrivals=arrivals, placement=placement, seed=seed)
 
     # ------------------------------------------------------ serialization
     def to_dict(self) -> dict:
@@ -203,6 +268,17 @@ class RunSpec:
             # results keep deduplicating across figures.
             out["mode_b"] = self.mode_b
             out["policy_params_b"] = {k: v for k, v in self.policy_params_b}
+        # The consolidation fields serialize only away from their legacy
+        # defaults, keeping every pre-consolidation key byte-identical.
+        if self.extra:
+            out["extra"] = [[abbr, mode, {k: v for k, v in params}]
+                            for abbr, mode, params in self.extra]
+        if self.arrivals is not None:
+            out["arrivals"] = self.arrivals
+        if self.placement is not None:
+            out["placement"] = self.placement
+        if self.seed:
+            out["seed"] = self.seed
         return out
 
     @classmethod
@@ -213,6 +289,9 @@ class RunSpec:
         kwargs["policy_params"] = tuple(params.items())
         params_b = kwargs.pop("policy_params_b", None) or {}
         kwargs["policy_params_b"] = tuple(params_b.items())
+        extra = kwargs.pop("extra", None) or []
+        kwargs["extra"] = tuple((abbr, mode, tuple(params.items()))
+                                for abbr, mode, params in extra)
         return cls(**kwargs)
 
     def cache_key(self) -> str:
@@ -227,19 +306,26 @@ class RunSpec:
             return [(self.benchmark, spec_a)]
         spec_b = spec_a if self.mode_b is None else \
             PolicyConfig(self.mode_b, self.policy_params_b).spec()
-        return [(self.benchmark, spec_a), (self.pair_with, spec_b)]
+        entries = [(self.benchmark, spec_a), (self.pair_with, spec_b)]
+        entries.extend((abbr, PolicyConfig(mode, params).spec())
+                       for abbr, mode, params in self.extra)
+        return entries
 
     def label(self) -> str:
         """Short human-readable tag for progress output."""
-        if self.mode_b is not None:
+        if self.mode_b is not None or self.extra:
             mix = "+".join(f"{bench}:{policy}"
                            for bench, policy in self.program_entries())
-            return f"{mix}@{self.scale:g}"
-        name = self.benchmark
-        if self.pair_with:
-            name = f"{name}+{self.pair_with}"
-        policy = PolicyConfig(self.mode, self.policy_params).spec()
-        return f"{name}/{policy}@{self.scale:g}"
+            tag = f"{mix}@{self.scale:g}"
+        else:
+            name = self.benchmark
+            if self.pair_with:
+                name = f"{name}+{self.pair_with}"
+            policy = PolicyConfig(self.mode, self.policy_params).spec()
+            tag = f"{name}/{policy}@{self.scale:g}"
+        if self.arrivals is not None:
+            tag = f"{tag}~{self.arrivals}"
+        return tag
 
 
 def _split_policy(mode, policy_params: Optional[dict]
@@ -259,7 +345,10 @@ def _split_policy(mode, policy_params: Optional[dict]
 
 def spec_from_mix(mix, scale: float = 1.0, default_policy=None,
                   cfg: Optional[GPUConfig] = None,
-                  max_kernels: Optional[int] = None) -> RunSpec:
+                  max_kernels: Optional[int] = None,
+                  arrivals: Optional[str] = None,
+                  placement: Optional[str] = None,
+                  seed: int = 0) -> RunSpec:
     """Build the :class:`RunSpec` for a mix declaration.
 
     ``mix`` is either the ``BENCH[:POLICY[:k=v,...]]+...`` grammar text
@@ -275,6 +364,11 @@ def spec_from_mix(mix, scale: float = 1.0, default_policy=None,
     (:func:`~repro.experiments.runner.scaled_policy_params`), explicit
     parameters always winning — again matching the CLI.
 
+    Mixes of three or more programs — and any mix carrying an
+    ``arrivals``/``placement`` spec — become consolidation runs: tenants
+    three and up land in :attr:`RunSpec.extra` and execution routes
+    through :func:`~repro.experiments.runner.run_consolidation`.
+
     Raises ``ValueError`` for malformed grammar, unknown benchmarks,
     unknown policies, or bad policy parameters.
     """
@@ -283,9 +377,8 @@ def spec_from_mix(mix, scale: float = 1.0, default_policy=None,
     from repro.workloads.catalog import BENCHMARKS
 
     entries = parse_mix(mix) if isinstance(mix, str) else list(mix)
-    if not 1 <= len(entries) <= 2:
-        raise ValueError(f"a mix runs one or two programs, "
-                         f"got {len(entries)}")
+    if not entries:
+        raise ValueError("a mix needs at least one program entry")
     if default_policy is None:
         default_policy = PolicyConfig.of("adaptive")
     elif isinstance(default_policy, str):
@@ -303,11 +396,17 @@ def spec_from_mix(mix, scale: float = 1.0, default_policy=None,
         resolved.append((abbr, scaled))
     kernels = {} if max_kernels is None else {"max_kernels": max_kernels}
     if len(resolved) == 1:
+        if arrivals is not None or placement is not None:
+            raise ValueError("arrivals/placement specs need a multi-program "
+                             "mix (a single program has no co-tenants)")
         (abbr, policy), = resolved
         return RunSpec.single(abbr, policy, cfg, scale=scale, **kernels)
-    (abbr_a, pol_a), (abbr_b, pol_b) = resolved
+    (abbr_a, pol_a), (abbr_b, pol_b) = resolved[0], resolved[1]
+    extra = tuple((abbr, pol.name, pol.params_dict())
+                  for abbr, pol in resolved[2:])
     return RunSpec.pair(abbr_a, abbr_b, pol_a, cfg, scale=scale,
-                        mode_b=pol_b, **kernels)
+                        mode_b=pol_b, extra=extra, arrivals=arrivals,
+                        placement=placement, seed=seed, **kernels)
 
 
 def execute_spec(spec: RunSpec,
@@ -322,6 +421,25 @@ def execute_spec(spec: RunSpec,
     from repro.experiments.runner import run_benchmark, run_mix, run_pair
 
     params = {k: v for k, v in spec.policy_params} or None
+    if spec.extra or spec.arrivals is not None or spec.placement is not None:
+        from repro.experiments.runner import run_consolidation
+
+        tenants = [(spec.benchmark, spec.mode, params)]
+        if spec.pair_with is not None:
+            if spec.mode_b is not None:
+                params_b = {k: v for k, v in spec.policy_params_b} or None
+                tenants.append((spec.pair_with, spec.mode_b, params_b))
+            else:
+                tenants.append((spec.pair_with, spec.mode, params))
+        tenants.extend((abbr, mode_x, {k: v for k, v in params_x} or None)
+                       for abbr, mode_x, params_x in spec.extra)
+        return run_consolidation(tenants, spec.cfg, scale=spec.scale,
+                                 max_kernels=spec.max_kernels,
+                                 num_ctas=spec.num_ctas,
+                                 arrivals=spec.arrivals,
+                                 placement=spec.placement, seed=spec.seed,
+                                 collect_locality=spec.collect_locality,
+                                 with_energy=spec.with_energy)
     mode = spec.mode
     if probes is not None:
         from repro.policy import create_policy
@@ -402,6 +520,10 @@ def probe_specs_for(spec: RunSpec) -> Optional[list[RunSpec]]:
     from repro.workloads.catalog import benchmark
 
     if spec.mode_b is not None:
+        return None
+    if spec.extra or spec.arrivals is not None or spec.placement is not None:
+        # Consolidation runs: the solo probe baselines differ per tenant
+        # and the oracle scopes per program — no shared probe pair exists.
         return None
     try:
         if canonical_policy_name(spec.mode) != "oracle-static":

@@ -193,6 +193,51 @@ def run_mix(abbr_a: str, abbr_b: str, mode_a: str, mode_b: str,
     return result
 
 
+def run_consolidation(tenants, cfg: Optional[GPUConfig] = None,
+                      scale: float = 1.0, max_kernels: int = 1,
+                      num_ctas: Optional[int] = None,
+                      arrivals: Optional[str] = None,
+                      placement: Optional[str] = None, seed: int = 0,
+                      collect_locality: bool = False,
+                      with_energy: bool = False) -> RunResult:
+    """Run an N-tenant consolidation mix with open-system arrivals.
+
+    ``tenants`` is a sequence of ``(benchmark, policy, params_dict)``
+    triples, one per tenant in admission order.  The workloads share the
+    trace budget :func:`run_pair` uses, so a two-tenant closed run is the
+    same simulation as the pair path; ``arrivals`` (an
+    :mod:`repro.consolidate.arrivals` spec, seeded by ``seed``) staggers
+    admissions, and ``placement`` names the SM-placement policy
+    (default: the generalized Figure 9 cluster-split).
+
+    Per-request latency tracking is always on — consolidation runs exist
+    to report tail latency and fairness — which forces the event
+    execution tier (the accelerated tiers decline).
+    """
+    from repro.consolidate.arrivals import arrival_times
+    from repro.scenario import ProgramSpec, Scenario
+    from repro.workloads.multiprogram import make_mix
+
+    tenants = list(tenants)
+    cfg = cfg or experiment_config()
+    total = max(4_000, int(60_000 * scale))
+    if num_ctas is None:
+        num_ctas = 2 * cfg.num_sms
+    mp = make_mix(tuple(abbr for abbr, _, _ in tenants),
+                  total_accesses=total, num_ctas=num_ctas,
+                  max_kernels=max_kernels)
+    times = arrival_times(arrivals, len(tenants), seed)
+    scenario = Scenario(
+        [ProgramSpec(wl, mode, params)
+         for wl, (_, mode, params) in zip(mp.programs, tenants)],
+        placement=placement, arrival_times=times, track_latency=True)
+    system = GPUSystem(cfg, scenario, collect_locality=collect_locality)
+    result = system.run()
+    if with_energy:
+        result.energy = GPUPowerModel().report(system, result)
+    return result
+
+
 def print_rows(rows: list[dict], columns: Optional[list[str]] = None) -> None:
     """Aligned plain-text table, one dict per row."""
     if not rows:

@@ -85,6 +85,10 @@ def install_fastpath(system) -> bool:
     """
     from repro.gpu.system import Request
 
+    if getattr(system, "_tier_ineligible", False):
+        # Consolidation runs: mid-run tenant admissions and per-request
+        # latency tracking are outside the specialized envelope.
+        return False
     topo = system.topology
     if not isinstance(topo, HierarchicalCrossbar):
         return False

@@ -51,6 +51,12 @@ class ProgramStats:
     a static program carries one synthetic ``"static"`` entry).  Legacy
     one-policy runs leave ``policy`` empty and serialize exactly as they
     always did, keeping pre-Scenario captures byte-identical.
+
+    Consolidation runs (:mod:`repro.consolidate`) additionally carry the
+    tenant's admission time and its request-latency percentiles
+    (``{"count", "p50", "p95", "p99"}``, read round trips in cycles);
+    both are elided from the dict form when absent, so every pre-existing
+    capture keeps its exact serialization.
     """
 
     name: str
@@ -59,6 +65,8 @@ class ProgramStats:
     policy: str = ""
     transitions: int = 0
     mode_timeline: list = field(default_factory=list)
+    admitted_at: Optional[float] = None
+    latency: Optional[dict] = None
 
     def to_dict(self) -> dict:
         out = {"name": self.name, "instructions": self.instructions,
@@ -67,6 +75,10 @@ class ProgramStats:
             out["policy"] = self.policy
             out["transitions"] = self.transitions
             out["mode_timeline"] = [list(e) for e in self.mode_timeline]
+        if self.admitted_at is not None:
+            out["admitted_at"] = self.admitted_at
+        if self.latency is not None:
+            out["latency"] = dict(self.latency)
         return out
 
     @classmethod
@@ -75,7 +87,9 @@ class ProgramStats:
                    ipc=data["ipc"], policy=data.get("policy", ""),
                    transitions=data.get("transitions", 0),
                    mode_timeline=[list(e) for e in
-                                  data.get("mode_timeline", [])])
+                                  data.get("mode_timeline", [])],
+                   admitted_at=data.get("admitted_at"),
+                   latency=data.get("latency"))
 
 
 @dataclass
@@ -109,6 +123,10 @@ class RunResult:
     decisions: list = field(default_factory=list)
     # multi-program
     programs: list[ProgramStats] = field(default_factory=list)
+    # consolidation occupancy timeline: [when, active_tenants] entries
+    # recorded at run start and every admission/departure (empty — and
+    # elided from the dict form — outside consolidation runs)
+    occupancy: list = field(default_factory=list)
     # optional Figure 3 histogram fractions [1, 2, 3-4, 5-8 clusters]
     locality_fractions: Optional[list[float]] = None
     # optional SystemEnergyReport attached by the experiment runner
@@ -139,6 +157,8 @@ class RunResult:
             for when, d in self.decisions
         ]
         out["programs"] = [p.to_dict() for p in self.programs]
+        if self.occupancy:
+            out["occupancy"] = [list(entry) for entry in self.occupancy]
         out["locality_fractions"] = self.locality_fractions
         out["energy"] = self.energy.to_dict() if self.energy is not None else None
         return out
@@ -162,6 +182,8 @@ class RunResult:
         ]
         kwargs["programs"] = [ProgramStats.from_dict(p)
                               for p in data["programs"]]
+        kwargs["occupancy"] = [list(entry)
+                               for entry in data.get("occupancy", [])]
         kwargs["locality_fractions"] = data["locality_fractions"]
         energy = data.get("energy")
         kwargs["energy"] = (SystemEnergyReport.from_dict(energy)
@@ -183,7 +205,7 @@ class Request:
     traffic allocates nothing per L1 miss.
     """
 
-    __slots__ = ("sm", "key", "mc", "slice_local", "slice_global")
+    __slots__ = ("sm", "key", "mc", "slice_local", "slice_global", "t0")
 
     def __init__(self, sm: Optional[StreamingMultiprocessor] = None,
                  key: int = -1, mc: int = -1, slice_local: int = -1,
@@ -193,6 +215,9 @@ class Request:
         self.mc = mc
         self.slice_local = slice_local
         self.slice_global = slice_global
+        # Issue timestamp, maintained only when the system tracks
+        # per-tenant request latency (consolidation runs).
+        self.t0 = 0.0
 
 
 class _ProgramContext:
@@ -221,6 +246,12 @@ class _ProgramContext:
         self.policy_name = ""
         self.llc_accesses = 0
         self.llc_hits = 0
+        # Consolidation bookkeeping: when the tenant enters the machine
+        # (0.0 — already there — outside consolidation runs) and its
+        # request-latency samples (None unless tracking is enabled).
+        self.admitted_at = 0.0
+        self.admitted = True
+        self.latencies: Optional[list[float]] = None
 
     @property
     def mode(self) -> LLCMode:
@@ -231,18 +262,20 @@ class _ProgramContext:
 
 def _scenario_workload(scenario: Scenario):
     """The simulated workload behind a scenario: the lone program's
-    workload, or a :class:`MultiProgramWorkload` wrapping a two-program
-    mix with the Figure 9 placement."""
+    workload, or a :class:`MultiProgramWorkload` wrapping the N-program
+    mix under the scenario's placement (the generalized Figure 9
+    cluster-split rule when none is named)."""
     programs = scenario.programs
-    if len(programs) == 1:
+    if len(programs) == 1 and scenario.placement is None:
         return programs[0].workload
-    if len(programs) == 2:
-        a, b = programs[0].workload, programs[1].workload
-        return MultiProgramWorkload(name=f"{a.name}+{b.name}",
-                                    programs=(a, b))
-    raise ValueError(
-        f"the Figure 9 placement supports at most two co-running "
-        f"programs, got {len(programs)}")
+    placement = None
+    if scenario.placement is not None:
+        from repro.consolidate.placement import create_placement
+        placement = create_placement(scenario.placement)
+    workloads = tuple(p.workload for p in programs)
+    return MultiProgramWorkload(
+        name="+".join(w.name for w in workloads),
+        programs=workloads, placement=placement)
 
 
 def _resolve_policy(policy, policy_params) -> tuple[LLCPolicy, str]:
@@ -331,6 +364,10 @@ class GPUSystem:
             self._program_policies = resolved
             self.policy = resolved[0][0] if len(resolved) == 1 else None
             self.mode_name = "+".join(name for _, name in resolved)
+            self._track_latency = workload.track_latency
+            self._admission_times = (list(workload.arrival_times)
+                                     if workload.arrival_times is not None
+                                     else None)
             workload = _scenario_workload(workload)
         else:
             self.scenario = None
@@ -338,6 +375,8 @@ class GPUSystem:
             self.policy, self.mode_name = _resolve_policy(policy,
                                                           policy_params)
             self._program_policies = None
+            self._track_latency = False
+            self._admission_times = None
         cfg.validate()
         self.cfg = cfg
         self.workload = workload
@@ -385,6 +424,21 @@ class GPUSystem:
         # access and nothing more.
         self.count_program_llc = False
         self.programs = self._build_programs(workload)
+        if self._admission_times is not None:
+            if len(self._admission_times) != len(self.programs):
+                raise ValueError(
+                    f"{len(self._admission_times)} admission times for "
+                    f"{len(self.programs)} programs")
+            for prog, when in zip(self.programs, self._admission_times):
+                prog.admitted_at = when
+                prog.admitted = when == 0.0
+        if self._track_latency:
+            for prog in self.programs:
+                prog.latencies = []
+        # Consolidation runs record the tenant-occupancy timeline.
+        self._occupancy: Optional[list] = (
+            [] if (self._admission_times is not None or self._track_latency)
+            else None)
         if self._explicit_scenario:
             if len(self._program_policies) != len(self.programs):
                 raise ValueError(
@@ -408,6 +462,14 @@ class GPUSystem:
         # per-program counters).  Installation swaps the pipeline stage
         # methods for closed-form closures; results are byte-identical by
         # contract (see repro.gpu.fastpath), pinned by the tier-parity suite.
+        # Consolidation runs (mid-run admissions, per-request latency
+        # tracking) are outside what the accelerated tiers specialize on,
+        # so they decline down the existing batch -> fastpath -> event
+        # chain and the event tier runs them.
+        self._tier_ineligible = (
+            self._track_latency
+            or (self._admission_times is not None
+                and any(t > 0.0 for t in self._admission_times)))
         self.tier = "event"
         self._tier_flush = None
         if cfg.tier == "batch":
@@ -428,15 +490,28 @@ class GPUSystem:
     # ------------------------------------------------------------ assembly
     def _build_programs(self, workload) -> list[_ProgramContext]:
         if isinstance(workload, MultiProgramWorkload):
-            spc = self.cfg.sms_per_cluster
-            sms_a = [s for s in range(self.cfg.num_sms)
-                     if workload.program_of_sm(s, spc) == 0]
-            sms_b = [s for s in range(self.cfg.num_sms)
-                     if workload.program_of_sm(s, spc) == 1]
-            a, b = workload.programs
+            n = len(workload.programs)
+            assignment = workload.sm_assignment(self.cfg.num_sms,
+                                                self.cfg.sms_per_cluster)
+            if len(assignment) != self.cfg.num_sms:
+                raise ValueError(
+                    f"placement assigned {len(assignment)} SMs, expected "
+                    f"{self.cfg.num_sms}")
+            sm_lists: list[list[int]] = [[] for _ in range(n)]
+            for sm_id, owner in enumerate(assignment):
+                if not 0 <= owner < n:
+                    raise ValueError(
+                        f"placement assigned SM {sm_id} to tenant {owner} "
+                        f"(have {n})")
+                sm_lists[owner].append(sm_id)
+            empty = [t for t, sms in enumerate(sm_lists) if not sms]
+            if empty:
+                raise ValueError(
+                    f"placement left programs {empty} with no SMs")
             for sm in self.sms:
-                sm.program_id = 0 if sm.sm_id in set(sms_a) else 1
-            return [_ProgramContext(0, a, sms_a), _ProgramContext(1, b, sms_b)]
+                sm.program_id = assignment[sm.sm_id]
+            return [_ProgramContext(i, w, sm_lists[i])
+                    for i, w in enumerate(workload.programs)]
         if not isinstance(workload, Workload):
             raise TypeError("workload must be a Workload or MultiProgramWorkload")
         for sm in self.sms:
@@ -455,11 +530,14 @@ class GPUSystem:
     # -------------------------------------------------------------- bypass
     def update_bypass(self, now: float) -> None:
         """Gate the MC-routers iff every program runs private (Section 4.1:
-        mixed-mode co-execution cannot bypass)."""
+        mixed-mode co-execution cannot bypass).  Tenants not yet admitted
+        have no traffic to route and do not count against the consensus;
+        their admission event re-evaluates it."""
         topo = self.topology
         if not hasattr(topo, "note_gate_change"):
             return
-        want = all(p.mode is LLCMode.PRIVATE for p in self.programs)
+        want = all(p.mode is LLCMode.PRIVATE
+                   for p in self.programs if p.admitted)
         if want != topo.bypass:
             topo.set_bypass(want)
             topo.note_gate_change(now)
@@ -477,9 +555,21 @@ class GPUSystem:
 
     # ----------------------------------------------------------------- run
     def run(self, max_cycles: Optional[float] = None) -> RunResult:
-        """Execute the workload to completion (or ``max_cycles``)."""
+        """Execute the workload to completion (or ``max_cycles``).
+
+        Tenants with a later admission time enter through an admission
+        event (:meth:`_admit_program`); everyone else launches at time
+        zero exactly as the legacy closed-system path always did.
+        """
+        if self._occupancy is not None:
+            self._occupancy.append(
+                [0.0, sum(1 for p in self.programs if p.admitted)])
         for prog in self.programs:
-            self._launch_kernel(prog, now=0.0)
+            if prog.admitted:
+                self._launch_kernel(prog, now=0.0)
+            else:
+                self.engine.schedule_call(prog.admitted_at,
+                                          self._admit_program, prog)
         self.engine.run(until=max_cycles)
         if not all(p.done for p in self.programs) and max_cycles is None:
             raise RuntimeError("simulation deadlocked: event queue drained "
@@ -521,12 +611,35 @@ class GPUSystem:
         if prog.pending_sms == 0:
             self._finish_kernel(prog, now)
 
+    def _admit_program(self, prog: _ProgramContext) -> None:
+        """Admission event: the tenant enters the machine mid-run.
+
+        Its SMs (reserved by the placement at assembly) receive their
+        kernels, the MC-router bypass consensus is re-derived over the
+        now-admitted set, and any installed execution tier is flushed so
+        per-program routing flags match — the same
+        ``update_bypass``/``tier_flush`` path a mode transition takes.
+        """
+        now = self.engine.now
+        prog.admitted = True
+        if self._occupancy is not None:
+            self._occupancy.append([now, self._active_tenants()])
+        self.update_bypass(now)
+        if self._tier_flush is not None:
+            self._tier_flush()
+        self._launch_kernel(prog, now)
+
+    def _active_tenants(self) -> int:
+        return sum(1 for p in self.programs if p.admitted and not p.done)
+
     def _finish_kernel(self, prog: _ProgramContext, now: float) -> None:
         prog.kernel_idx += 1
         if prog.kernel_idx >= len(prog.workload.kernels):
             prog.done = True
             if prog.controller is not None:
                 prog.controller.shutdown()
+            if self._occupancy is not None:
+                self._occupancy.append([now, self._active_tenants()])
             return
         self._launch_kernel(prog, now)
 
@@ -754,6 +867,8 @@ class GPUSystem:
     def _issue_read(self, sm: StreamingMultiprocessor, key: int,
                     when: float) -> None:
         req = self._acquire_request(sm, key)
+        if self._track_latency:
+            req.t0 = when
         if self.locality is not None:
             self.locality.note(key, sm.cluster_id, when)
         arrive = self.topology.request_arrival(when, sm.sm_id, req.mc,
@@ -831,6 +946,9 @@ class GPUSystem:
     def _on_fill(self, req: Request) -> None:
         sm = req.sm
         key = req.key
+        if self._track_latency:
+            self.programs[sm.program_id].latencies.append(
+                self.engine.now - req.t0)
         req.sm = None
         self._req_pool.append(req)
         waiters = sm.mshr.release(key)
@@ -874,7 +992,7 @@ class GPUSystem:
             gated = self.topology.gated_time(cycles)
 
         program_stats = []
-        if len(self.programs) > 1:
+        if len(self.programs) > 1 or self._track_latency:
             for prog in self.programs:
                 instrs = sum(self.sms[s].retired_instructions
                              for s in prog.sm_ids)
@@ -891,6 +1009,11 @@ class GPUSystem:
                     else:
                         stats.mode_timeline = [
                             [0.0, prog.static_mode.value, "static"]]
+                if self._admission_times is not None:
+                    stats.admitted_at = prog.admitted_at
+                if prog.latencies is not None:
+                    from repro.consolidate.metrics import latency_percentiles
+                    stats.latency = latency_percentiles(prog.latencies)
                 program_stats.append(stats)
 
         fractions = None
@@ -921,5 +1044,6 @@ class GPUSystem:
             mode_history=sorted(policy_stats.mode_history),
             decisions=policy_stats.decisions,
             programs=program_stats,
+            occupancy=list(self._occupancy) if self._occupancy else [],
             locality_fractions=fractions,
         )

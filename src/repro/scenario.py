@@ -9,8 +9,10 @@ declaration instead:
 
 * :class:`ProgramSpec` — one co-running application: its workload plus the
   LLC policy (and parameters) that governs *its* clusters' slices;
-* :class:`Scenario` — an ordered set of programs sharing the GPU (one or
-  two; the Figure 9 placement is binary).
+* :class:`Scenario` — an ordered set of programs sharing the GPU.  Two
+  programs co-execute under the Figure 9 placement by default; N-tenant
+  consolidation runs attach a placement spec, per-tenant admission times
+  and request-latency tracking (see :mod:`repro.consolidate`).
 
 ``GPUSystem`` accepts a :class:`Scenario` wherever it accepted a workload;
 the old ``policy=``/``policy_params=`` kwargs remain as thin adapters that
@@ -74,20 +76,46 @@ class ProgramSpec:
 class Scenario:
     """An ordered set of programs sharing the GPU, each with its policy.
 
-    One entry is a single-program run; two entries co-execute under the
-    Figure 9 placement (half of every cluster per program).  More than two
-    programs would need a different placement rule and are rejected by
-    :class:`~repro.gpu.system.GPUSystem`.
+    One entry is a single-program run; N entries co-execute under the
+    generalized Figure 9 cluster-split placement (every cluster divided
+    between the tenants) unless ``placement`` names another registered
+    SM-placement policy.  The consolidation fields all default to the
+    legacy closed-system shape so existing scenarios — and their golden
+    captures — stay byte-identical:
+
+    Attributes:
+        placement: ``NAME[:k=v,...]`` spec of a registered placement from
+            :mod:`repro.consolidate.placement` (``None`` = cluster-split).
+        arrival_times: per-tenant admission times in core cycles
+            (nondecreasing, first entry 0.0); ``None`` means everyone is
+            present at time zero.  Tenants admitted later launch via an
+            admission event that re-derives LLC routing.
+        track_latency: record per-request round-trip latencies per tenant
+            and report p50/p95/p99 in the program stats.  Forces the
+            event execution tier (accelerated tiers decline).
     """
 
     programs: list[ProgramSpec] = field(default_factory=list)
     name: Optional[str] = None
+    placement: Optional[str] = None
+    arrival_times: Optional[list[float]] = None
+    track_latency: bool = False
 
     def __post_init__(self) -> None:
         if not self.programs:
             raise ValueError("a Scenario needs at least one ProgramSpec")
         if self.name is None:
             self.name = "+".join(p.workload.name for p in self.programs)
+        times = self.arrival_times
+        if times is not None:
+            if len(times) != len(self.programs):
+                raise ValueError(
+                    f"{len(times)} arrival times for "
+                    f"{len(self.programs)} programs")
+            if times and times[0] != 0.0:
+                raise ValueError("the first tenant must arrive at 0.0")
+            if any(b < a for a, b in zip(times, times[1:])):
+                raise ValueError("arrival times must be nondecreasing")
 
     # ------------------------------------------------------- constructors
     @staticmethod

@@ -108,6 +108,12 @@ class ServiceClient:
         """``GET /results/<key>``: the ``RunResult.to_dict()`` payload."""
         return self._request("GET", f"/results/{key}")
 
+    def cancel(self, job_id: str) -> dict:
+        """``DELETE /jobs/<id>``: cancel a queued job or evict a terminal
+        record.  Raises :class:`ServiceError` with status 409 when the
+        job is already running (wait for it instead)."""
+        return self._request("DELETE", f"/jobs/{job_id}")
+
     def healthz(self) -> dict:
         return self._request("GET", "/healthz")
 

@@ -10,15 +10,22 @@ from threads through the HTTP API and observe the same invariants.
 Lifecycle::
 
     submit() ──► queued ──next_job()──► running ──finish()──► done
-        │                                   └──fail()──────► error
+        │           │                       └──fail()──────► error
+        │           └──cancel()──────────────────────────► cancelled
         └── (result already stored) ─────────────────────────► done
+
+``cancel`` of a *terminal* job (done/error/cancelled) evicts its record
+instead, and :meth:`JobManager.evict_expired` sweeps terminal records
+older than the configured TTL so a long-lived server's job table stays
+bounded (results themselves live in the store and survive eviction).
 
 Invariants the tests pin:
 
 * **Exactly-once per content key.**  A job's id is its spec's content
   key.  ``submit`` of a key that is queued/running/done never creates a
   second execution — it coalesces (and may raise the queued job's
-  priority).  Only an *error* job re-arms on resubmission.
+  priority).  Only an *error* or *cancelled* job re-arms on
+  resubmission.
 * **Priority order.**  ``next_job`` pops the highest ``priority`` first
   (ties: submission order).  Queue positions reported to clients follow
   the same order.
@@ -37,6 +44,10 @@ from typing import Callable, Optional
 
 #: Job lifecycle states, as they appear on the wire.
 QUEUED, RUNNING, DONE, ERROR = "queued", "running", "done", "error"
+CANCELLED = "cancelled"
+
+#: States a job can never leave (eviction candidates).
+TERMINAL = (DONE, ERROR, CANCELLED)
 
 
 class JobRejected(ValueError):
@@ -113,10 +124,12 @@ class JobManager:
     """
 
     def __init__(self, quota: int = 0, max_queue: int = 1024,
-                 lookup_result: Optional[Callable] = None):
+                 lookup_result: Optional[Callable] = None,
+                 job_ttl: float = 0.0):
         self.quota = quota
         self.max_queue = max_queue
         self.lookup_result = lookup_result
+        self.job_ttl = job_ttl
         self.jobs: dict[str, Job] = {}
         self._heap: list = []          # (-priority, seq, key); lazy entries
         self._seq = itertools.count()
@@ -125,6 +138,8 @@ class JobManager:
         self.cache_hits = 0
         self.executed = 0
         self.errors = 0
+        self.cancelled = 0
+        self.evicted = 0
 
     # ------------------------------------------------------------- submit
     def submit(self, key: str, spec_dict: dict, label: str,
@@ -136,7 +151,7 @@ class JobManager:
         """
         self.submitted += 1
         job = self.jobs.get(key)
-        if job is not None and job.state != ERROR:
+        if job is not None and job.state not in (ERROR, CANCELLED):
             self.coalesced += 1
             if client not in job.clients:
                 job.clients.append(client)
@@ -209,6 +224,54 @@ class JobManager:
         self.errors += 1
         return job
 
+    # --------------------------------------------------------- cancellation
+    def cancel(self, key: str) -> tuple[Job, bool]:
+        """``DELETE /jobs/<id>``: cancel a queued job or evict a terminal
+        record.
+
+        Returns ``(job, evicted)``.  A *queued* job transitions to
+        ``cancelled`` (its heap entry goes stale and :meth:`next_job`
+        skips it lazily — no heap surgery); a *terminal* job's record is
+        evicted from the table (the result, if any, stays in the store).
+        A *running* job is already on a worker: raises
+        :class:`JobRejected` with 409 so the client knows to wait
+        instead.  Unknown keys raise ``KeyError``.
+        """
+        job = self.jobs[key]  # KeyError -> the route's 404
+        if job.state == RUNNING:
+            raise JobRejected(
+                f"job {job.label!r} is running and cannot be cancelled",
+                409)
+        if job.state in TERMINAL:
+            del self.jobs[key]
+            self.evicted += 1
+            return job, True
+        job.state = CANCELLED
+        job.finished_at = time.time()
+        self.cancelled += 1
+        return job, False
+
+    def evict_expired(self, now: Optional[float] = None) -> list[str]:
+        """Drop terminal records older than ``job_ttl`` seconds.
+
+        Returns the evicted keys; a TTL of 0 disables the sweep.  Cheap
+        enough (one pass over the table) for the server to call on every
+        dispatch kick, which bounds a long-lived server's job table
+        without a timer task.
+        """
+        if not self.job_ttl:
+            return []
+        now = time.time() if now is None else now
+        cutoff = now - self.job_ttl
+        expired = [key for key, job in self.jobs.items()
+                   if job.state in TERMINAL
+                   and job.finished_at is not None
+                   and job.finished_at <= cutoff]
+        for key in expired:
+            del self.jobs[key]
+        self.evicted += len(expired)
+        return expired
+
     # ------------------------------------------------------------ queries
     def get(self, key: str) -> Optional[Job]:
         return self.jobs.get(key)
@@ -224,7 +287,7 @@ class JobManager:
 
     def counts(self) -> dict:
         """Jobs by state (the ``GET /stats`` queue block)."""
-        out = {QUEUED: 0, RUNNING: 0, DONE: 0, ERROR: 0}
+        out = {QUEUED: 0, RUNNING: 0, DONE: 0, ERROR: 0, CANCELLED: 0}
         for job in self.jobs.values():
             out[job.state] += 1
         return out
@@ -237,6 +300,8 @@ class JobManager:
             "cache_hits": self.cache_hits,
             "executed": self.executed,
             "errors": self.errors,
+            "cancelled": self.cancelled,
+            "evicted": self.evicted,
             "states": self.counts(),
             # Of the jobs that reached a result, how many never paid a
             # simulation.  Coalesced submissions are not counted twice.

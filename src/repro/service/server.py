@@ -9,8 +9,11 @@ routes, not a web framework:
 ``POST /jobs``        submit a ``{"spec": RunSpec.to_dict()}`` or
                       ``{"mix": "A:pol+B:pol", "scale": ...}`` payload;
                       returns the job id (= the spec's content key)
-``GET /jobs/<id>``    job status: queued/running/done/error, queue
-                      position, timing
+``GET /jobs/<id>``    job status: queued/running/done/error/cancelled,
+                      queue position, timing
+``DELETE /jobs/<id>`` cancel a queued job (409 while running); on a
+                      terminal job, evict its record (results stay in
+                      the store)
 ``GET /results/<k>``  the finished ``RunResult.to_dict()`` payload, verbatim
 ``GET /healthz``      liveness
 ``GET /stats``        jobs served, cache-hit rate, worker utilization
@@ -40,9 +43,9 @@ from repro.service.jobs import DONE, ERROR, Job, JobManager, JobRejected
 from repro.service.workers import execute_job
 
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
-            405: "Method Not Allowed", 413: "Payload Too Large",
-            429: "Too Many Requests", 500: "Internal Server Error",
-            503: "Service Unavailable"}
+            405: "Method Not Allowed", 409: "Conflict",
+            413: "Payload Too Large", 429: "Too Many Requests",
+            500: "Internal Server Error", 503: "Service Unavailable"}
 
 #: Submission bodies past this size are rejected (a RunSpec payload is
 #: a few KB; anything megabytes-deep is not one).
@@ -68,7 +71,8 @@ class JobServer:
         self.store = ResultStore(self.config.cache_dir)
         self.manager = JobManager(quota=self.config.quota,
                                   max_queue=self.config.max_queue,
-                                  lookup_result=self._lookup_cached)
+                                  lookup_result=self._lookup_cached,
+                                  job_ttl=self.config.job_ttl)
         self.port: Optional[int] = None
         self.started_at: Optional[float] = None
         self._server: Optional[asyncio.AbstractServer] = None
@@ -201,10 +205,15 @@ class JobServer:
 
     def _route(self, method: str, path: str, headers: dict, body: bytes):
         path = path.split("?", 1)[0].rstrip("/") or "/"
+        # Piggyback the TTL sweep on request traffic: terminal records
+        # age out without a timer task (a no-op when job_ttl is 0).
+        self.manager.evict_expired()
         if path == "/jobs" and method == "POST":
             return self._post_job(headers, body)
         if path.startswith("/jobs/") and method == "GET":
             return self._get_job(path[len("/jobs/"):])
+        if path.startswith("/jobs/") and method == "DELETE":
+            return self._delete_job(path[len("/jobs/"):])
         if path.startswith("/results/") and method == "GET":
             return self._get_result(path[len("/results/"):])
         if path == "/healthz" and method == "GET":
@@ -274,6 +283,18 @@ class JobServer:
         if job is None:
             return 404, {"error": f"unknown job {key!r}"}
         return 200, job.status_dict(position=self.manager.position(key))
+
+    def _delete_job(self, key: str):
+        """``DELETE /jobs/<id>``: cancel a queued job / evict a terminal
+        record (409 for a running job, 404 for an unknown one)."""
+        try:
+            job, evicted = self.manager.cancel(key)
+        except KeyError:
+            return 404, {"error": f"unknown job {key!r}"}
+        except JobRejected as exc:
+            return exc.status, {"error": str(exc)}
+        return 200, {"id": job.key, "label": job.label,
+                     "state": job.state, "evicted": evicted}
 
     def _get_result(self, key: str):
         job = self.manager.get(key)

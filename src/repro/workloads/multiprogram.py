@@ -1,14 +1,19 @@
 """Multi-program co-execution (paper Section 6.3, Figures 9 and 15).
 
-Two applications share the GPU: within every cluster, half the SMs run
-program A and half run program B, which distributes both programs across all
-clusters (Figure 9's placement) so each can use the whole LLC.  Address
-spaces are disjoint via a line offset on the second program.
+N applications share the GPU.  The default placement is the paper's
+Figure 9 rule generalized to N tenants: every cluster is divided between
+all programs (for two programs: first half of each cluster runs program 0,
+second half runs program 1), which distributes every program across all
+clusters so each can use the whole LLC.  Consolidation experiments swap in
+other placements from :mod:`repro.consolidate.placement` via the
+``placement`` attribute.  Address spaces are disjoint via a per-program
+line offset.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Sequence
 
 from repro.workloads.catalog import benchmark
 from repro.workloads.generator import generate_workload
@@ -20,33 +25,75 @@ ADDRESS_SPACE_STRIDE = 1 << 33
 
 @dataclass
 class MultiProgramWorkload:
-    """A two-program mix plus its per-program placement rule."""
+    """An N-program mix plus its per-program placement rule.
+
+    ``placement`` is an optional SM-placement policy instance (anything
+    with an ``assign(num_sms, sms_per_cluster, n_tenants)`` method, see
+    :mod:`repro.consolidate.placement`); ``None`` means the built-in
+    generalized Figure 9 cluster-split rule.
+    """
 
     name: str
-    programs: tuple[Workload, Workload]
+    programs: tuple[Workload, ...]
+    placement: Optional[object] = None
 
     def program_of_sm(self, sm_id: int, sms_per_cluster: int) -> int:
-        """Figure 9 placement: the first half of every cluster runs program
-        0, the second half runs program 1."""
-        return 0 if (sm_id % sms_per_cluster) < sms_per_cluster // 2 else 1
+        """Default placement: every cluster is divided between the N
+        programs in order; program t owns in-cluster positions
+        ``[t*spc//N, (t+1)*spc//N)``.  For N=2 this is exactly Figure 9's
+        half-and-half split (odd cluster widths included)."""
+        n = len(self.programs)
+        pos = sm_id % sms_per_cluster
+        for tenant in range(n):
+            if pos < (tenant + 1) * sms_per_cluster // n:
+                return tenant
+        return n - 1
+
+    def sm_assignment(self, num_sms: int,
+                      sms_per_cluster: int) -> list[int]:
+        """Program id per SM under the attached (or default) placement."""
+        if self.placement is not None:
+            out = self.placement.assign(  # type: ignore[attr-defined]
+                num_sms, sms_per_cluster, len(self.programs))
+            return list(out)
+        return [self.program_of_sm(sm, sms_per_cluster)
+                for sm in range(num_sms)]
+
+
+def make_mix(abbrs: Sequence[str], total_accesses: int = 40_000,
+             num_ctas: int = 160, max_kernels: int | None = 2,
+             placement: Optional[object] = None) -> MultiProgramWorkload:
+    """Build an N-program workload from catalog abbreviations.
+
+    Each program keeps the full access budget: it runs on a fraction of
+    the SMs but its trace must still cover its natural footprint (dividing
+    the budget would wreck each program's working-set reuse and turn the
+    mix into a pure DRAM-bandwidth fight).  CTAs are divided evenly;
+    program ``i`` lives ``i`` address-space strides up so tenant address
+    spaces never overlap.
+    """
+    if not abbrs:
+        raise ValueError("a mix needs at least one program")
+    n = len(abbrs)
+    ctas_each = num_ctas // n
+    if ctas_each < 1:
+        raise ValueError(
+            f"{num_ctas} CTAs cannot be divided over {n} programs")
+    programs = tuple(
+        generate_workload(benchmark(abbr), num_ctas=ctas_each,
+                          total_accesses=total_accesses,
+                          max_kernels=max_kernels,
+                          address_offset=i * ADDRESS_SPACE_STRIDE)
+        for i, abbr in enumerate(abbrs))
+    return MultiProgramWorkload(name="+".join(abbrs), programs=programs,
+                                placement=placement)
 
 
 def make_pair(abbr_a: str, abbr_b: str, total_accesses: int = 40_000,
               num_ctas: int = 160, max_kernels: int | None = 2) -> MultiProgramWorkload:
-    """Build a two-program workload from catalog abbreviations.
-
-    Each program keeps the full access budget: it runs on half the SMs but
-    its trace must still cover its natural footprint (halving the budget
-    would wreck each program's working-set reuse and turn the mix into a
-    pure DRAM-bandwidth fight).
-    """
-    per_program = max(1, total_accesses)
-    wa = generate_workload(benchmark(abbr_a), num_ctas=num_ctas // 2,
-                           total_accesses=per_program, max_kernels=max_kernels)
-    wb = generate_workload(benchmark(abbr_b), num_ctas=num_ctas // 2,
-                           total_accesses=per_program, max_kernels=max_kernels,
-                           address_offset=ADDRESS_SPACE_STRIDE)
-    return MultiProgramWorkload(name=f"{abbr_a}+{abbr_b}", programs=(wa, wb))
+    """Build the legacy two-program mix (a :func:`make_mix` of two)."""
+    return make_mix((abbr_a, abbr_b), total_accesses=total_accesses,
+                    num_ctas=num_ctas, max_kernels=max_kernels)
 
 
 def all_shared_private_pairs() -> list[tuple[str, str]]:

@@ -4,9 +4,10 @@ import json
 
 import pytest
 
-from repro.bench import (MODES, SCENARIOS, TIERS, bench_scenario,
-                         compare_bench, load_bench, run_bench,
-                         scenario_key, tier_speedups, write_bench)
+from repro.bench import (EVENT_ONLY, MODES, SCENARIOS, TIERS,
+                         bench_scenario, compare_bench, load_bench,
+                         run_bench, scenario_key, tier_speedups,
+                         write_bench)
 from repro.cli import main
 
 TINY = 0.02  # smoke preset
@@ -19,7 +20,8 @@ def _payload(eps: float) -> dict:
 
 def _all_keys():
     return [scenario_key(name, tier)
-            for name, _, _ in SCENARIOS for tier in TIERS]
+            for name, _, _ in SCENARIOS
+            for tier in (("event",) if name in EVENT_ONLY else TIERS)]
 
 
 def test_run_bench_schema_and_positive_throughput():

@@ -86,10 +86,20 @@ def test_scenario_rejects_global_policy_kwargs():
     scenario = Scenario.single(w, "shared")
     with pytest.raises(ValueError, match="per-program policies"):
         GPUSystem(small_cfg(), scenario, policy="shared")
-    with pytest.raises(ValueError, match="at most two"):
-        GPUSystem(small_cfg(), Scenario([ProgramSpec(w)] * 3))
     with pytest.raises(ValueError, match="at least one"):
         Scenario([])
+
+
+def test_scenario_accepts_n_programs():
+    """The 2-program cap is gone: N tenants build under the generalized
+    cluster-split placement, every tenant owning at least one SM."""
+    w = build("VA", total_accesses=2000, num_ctas=80, max_kernels=1)
+    system = GPUSystem(small_cfg(), Scenario([ProgramSpec(w)] * 3))
+    assert len(system.programs) == 3
+    owned = [set(p.sm_ids) for p in system.programs]
+    assert all(owned[i].isdisjoint(owned[j])
+               for i in range(3) for j in range(i + 1, 3))
+    assert set().union(*owned) == set(range(system.cfg.num_sms))
 
 
 def test_scenario_rejects_shared_policy_instance():
@@ -259,7 +269,8 @@ def test_cli_run_mix_conflicts(capsys):
     from repro.cli import main
 
     assert main(["run", "VA", "--mix", "GEMM+SN"]) == 2
-    assert "not both" in capsys.readouterr().err
+    assert "exactly one" in capsys.readouterr().err
+    assert main(["run", "VA", "--tenants", "3"]) == 2
     assert main(["run"]) == 2
     with pytest.raises(SystemExit):
         main(["run", "--mix", "GEMM:nope+SN"])

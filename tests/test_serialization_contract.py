@@ -126,6 +126,16 @@ def run_spec_variants() -> dict[str, RunSpec]:
         "policy_params_b": dataclasses.replace(
             base, pair_with="mst", mode_b="miss-rate-threshold",
             policy_params_b={"interval": 2_500}),
+        "extra": dataclasses.replace(
+            base, pair_with="mst", extra=(("bc", "private", ()),)),
+        "arrivals": dataclasses.replace(
+            base, pair_with="mst", arrivals="poisson:gap=2000"),
+        "placement": dataclasses.replace(
+            base, pair_with="mst", placement="striped"),
+        # seed canonicalizes to 0 without arrivals (a closed system draws
+        # nothing), so its sentinel must ride an open-system spec.
+        "seed": dataclasses.replace(
+            base, pair_with="mst", arrivals="poisson", seed=3),
     }
 
 
@@ -152,6 +162,10 @@ def test_run_spec_every_field_feeds_cache_key():
             base, mode="miss-rate-threshold"),
         "<mode_b=threshold>": dataclasses.replace(
             base, pair_with="mst", mode_b="miss-rate-threshold"),
+        # ...and the seed variant rides arrivals="poisson"; pin that
+        # comparator so the seed itself is proven to feed the key.
+        "<arrivals=poisson>": dataclasses.replace(
+            base, pair_with="mst", arrivals="poisson"),
     }
     for name, spec in {**run_spec_variants(), **extra}.items():
         keys[name] = spec.cache_key()
@@ -201,8 +215,12 @@ def sentinel_run_result() -> RunResult:
         "programs": [
             ProgramStats(name="bfs", instructions=7_890_123.0, ipc=1.25,
                          policy="paper-adaptive", transitions=2,
-                         mode_timeline=[[0.0, "shared", "static"]]),
+                         mode_timeline=[[0.0, "shared", "static"]],
+                         admitted_at=1_500.0,
+                         latency={"count": 42, "p50": 210.0,
+                                  "p95": 400.0, "p99": 512.0}),
         ],
+        "occupancy": [[0.0, 1], [1_500.0, 2]],
         "locality_fractions": [0.4, 0.3, 0.2, 0.1],
         "energy": SystemEnergyReport(
             noc=NoCEnergyBreakdown(buffer=1.0, crossbar=2.0, links=3.0,

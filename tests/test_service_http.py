@@ -193,3 +193,74 @@ def test_quota_keys_off_the_client_identity(job_server_factory):
     # Drain both so teardown isn't racing live simulations.
     alice.wait(first["id"], timeout=240)
     bob.wait(queued["id"], timeout=240)
+
+
+# ----------------------------------------------------------- cancellation
+def test_cancel_queued_job_then_evict_its_record(job_server_factory):
+    """DELETE on a queued job cancels it; DELETE on the now-terminal
+    record evicts it; DELETE on an unknown id is a 404."""
+    harness = job_server_factory(workers=1)
+    client = harness.client()
+    # One worker: the first job occupies it, everything behind queues.
+    head = client.submit_spec(_tiny_spec())
+    victim = client.submit_spec(
+        spec_from_mix("SN:static-shared", scale=TINY, max_kernels=1))
+    straggler = client.submit_spec(
+        spec_from_mix("BP:static-shared", scale=TINY, max_kernels=1))
+    # The last submission is deterministically still queued (the single
+    # worker is at most one job deep into the queue ahead of it).
+    reply = client.cancel(straggler["id"])
+    assert reply["state"] == "cancelled"
+    assert reply["evicted"] is False
+    assert client.job(straggler["id"])["state"] == "cancelled"
+
+    # Cancelling a terminal record evicts it from the job table.
+    reply = client.cancel(straggler["id"])
+    assert reply["evicted"] is True
+    with pytest.raises(ServiceError) as exc:
+        client.job(straggler["id"])
+    assert exc.value.status == 404
+
+    with pytest.raises(ServiceError) as exc:
+        client.cancel("no-such-job")
+    assert exc.value.status == 404
+
+    # A cancelled key re-arms on resubmission and completes normally.
+    again = client.submit_spec(
+        spec_from_mix("BP:static-shared", scale=TINY, max_kernels=1))
+    assert again["coalesced"] is False
+    client.wait(again["id"], timeout=240)
+    client.wait(head["id"], timeout=240)
+    client.wait(victim["id"], timeout=240)
+
+
+def test_job_ttl_evicts_terminal_records_but_not_results(job_server_factory,
+                                                         tmp_path):
+    """With a TTL configured, terminal job records age out of the table
+    (any request triggers the sweep) while the result stays servable
+    from the shared store."""
+    import time as _time
+
+    cache = str(tmp_path / "ttl-cache")
+    harness = job_server_factory(cache_dir=cache, job_ttl=0.05)
+    client = harness.client()
+    reply = client.submit_spec(_tiny_spec())
+    # Poll the *results* route, not job status: with a TTL this short the
+    # record may age out between completion and the next status poll
+    # (every request sweeps), while results are served from the store.
+    deadline = _time.monotonic() + 240
+    payload = None
+    while payload is None:
+        try:
+            payload = client.result(reply["id"])
+        except ServiceError:
+            assert _time.monotonic() < deadline, "job never produced a result"
+            _time.sleep(0.1)
+    _time.sleep(0.2)
+    client.healthz()  # any request runs the sweep
+    with pytest.raises(ServiceError) as exc:
+        client.job(reply["id"])
+    assert exc.value.status == 404, "terminal record should have aged out"
+    assert _canon(client.result(reply["id"])) == _canon(payload), \
+        "eviction must not touch the stored result"
+    assert client.stats()["jobs"]["evicted"] >= 1

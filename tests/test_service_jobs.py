@@ -9,8 +9,8 @@ quota accounting, and the store probe that lets submissions be born
 
 import pytest
 
-from repro.service.jobs import (DONE, ERROR, QUEUED, RUNNING, Job,
-                                JobManager, JobRejected)
+from repro.service.jobs import (CANCELLED, DONE, ERROR, QUEUED, RUNNING,
+                                Job, JobManager, JobRejected)
 
 
 def _submit(mgr, key, **kw):
@@ -201,7 +201,8 @@ def test_stats_shape_and_rates():
     assert stats["cache_hits"] == 1
     assert stats["executed"] == 1
     assert stats["errors"] == 1
-    assert stats["states"] == {QUEUED: 0, RUNNING: 0, DONE: 2, ERROR: 1}
+    assert stats["states"] == {QUEUED: 0, RUNNING: 0, DONE: 2, ERROR: 1,
+                               CANCELLED: 0}
     assert stats["cache_hit_rate"] == 0.5
 
 
@@ -210,3 +211,82 @@ def test_job_defaults_are_inert():
     assert job.state == QUEUED
     assert job.clients == []
     assert job.cache_hit is False
+
+
+# ----------------------------------------------------------- cancellation
+def test_cancel_queued_job_and_rearm_on_resubmit():
+    mgr = JobManager()
+    _submit(mgr, "a")
+    job, evicted = mgr.cancel("a")
+    assert job.state == CANCELLED and not evicted
+    assert job.finished_at is not None
+    assert mgr.next_job() is None  # the stale heap entry is skipped
+    assert mgr.stats()["cancelled"] == 1
+    # A cancelled key re-arms exactly like an errored one.
+    retry = _submit(mgr, "a")
+    assert retry.state == QUEUED and retry is not job
+    assert mgr.next_job() is retry
+
+
+def test_cancel_running_job_is_a_conflict():
+    mgr = JobManager()
+    _submit(mgr, "a")
+    mgr.next_job()
+    with pytest.raises(JobRejected) as err:
+        mgr.cancel("a")
+    assert err.value.status == 409
+    assert mgr.get("a").state == RUNNING
+
+
+def test_cancel_unknown_job_raises_keyerror():
+    mgr = JobManager()
+    with pytest.raises(KeyError):
+        mgr.cancel("missing")
+
+
+def test_cancel_terminal_job_evicts_the_record():
+    mgr = JobManager()
+    _submit(mgr, "a")
+    mgr.next_job()
+    mgr.finish("a", {"ipc": 1.0})
+    job, evicted = mgr.cancel("a")
+    assert evicted and job.state == DONE
+    assert mgr.get("a") is None
+    assert mgr.stats()["evicted"] == 1
+
+
+def test_cancel_releases_quota():
+    mgr = JobManager(quota=1)
+    _submit(mgr, "a", client="alice")
+    with pytest.raises(JobRejected):
+        _submit(mgr, "b", client="alice")
+    mgr.cancel("a")
+    assert _submit(mgr, "b", client="alice").state == QUEUED
+
+
+def test_evict_expired_sweeps_only_old_terminal_jobs():
+    mgr = JobManager(job_ttl=10.0)
+    _submit(mgr, "old")
+    mgr.next_job()
+    mgr.finish("old", {})
+    _submit(mgr, "fresh")
+    mgr.next_job()
+    mgr.finish("fresh", {})
+    _submit(mgr, "live")
+    now = mgr.get("old").finished_at
+    mgr.get("fresh").finished_at = now + 100.0
+    evicted = mgr.evict_expired(now=now + 50.0)
+    assert evicted == ["old"]
+    assert mgr.get("old") is None
+    assert mgr.get("fresh") is not None  # too young
+    assert mgr.get("live").state == QUEUED  # never terminal
+    assert mgr.stats()["evicted"] == 1
+
+
+def test_evict_expired_disabled_by_default():
+    mgr = JobManager()
+    _submit(mgr, "a")
+    mgr.next_job()
+    mgr.finish("a", {})
+    assert mgr.evict_expired(now=mgr.get("a").finished_at + 1e9) == []
+    assert mgr.get("a") is not None
